@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the linear-algebra substrate at the sizes the
+//! lower-bound machinery uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use blowfish_linalg::{eigh, pseudoinverse, Cholesky, Matrix};
+
+fn random_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_vec(n, m, (0..n * m).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .expect("shape matches")
+}
+
+fn random_spd(n: usize, seed: u64) -> Matrix {
+    let a = random_matrix(n, n, seed);
+    let mut g = a.gram();
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    group.sample_size(10);
+
+    let a = random_matrix(128, 128, 1);
+    let b = random_matrix(128, 128, 2);
+    group.bench_function(BenchmarkId::new("matmul", 128), |bch| {
+        bch.iter(|| a.matmul(&b).expect("shapes agree"));
+    });
+
+    let spd = random_spd(128, 3);
+    group.bench_function(BenchmarkId::new("cholesky", 128), |bch| {
+        bch.iter(|| Cholesky::factor(&spd).expect("SPD"));
+    });
+
+    group.bench_function(BenchmarkId::new("eigh", 128), |bch| {
+        bch.iter(|| eigh(&spd).expect("symmetric"));
+    });
+
+    let wide = random_matrix(64, 128, 4);
+    group.bench_function(BenchmarkId::new("pseudoinverse_64x128", 64), |bch| {
+        bch.iter(|| pseudoinverse(&wide).expect("full row rank"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the Figure-10 SVD lower-bound computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use blowfish_core::{range_gram, range_gram_1d, Delta, Domain, Epsilon, PolicyGraph};
+use blowfish_strategies::svd_lower_bound;
+
+fn bench_lower_bounds(c: &mut Criterion) {
+    let eps = Epsilon::new(1.0).expect("valid");
+    let delta = Delta::new(0.001).expect("valid");
+    let mut group = c.benchmark_group("lower_bounds");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("fig10a_theta4", 100), |b| {
+        let gram = range_gram_1d(100);
+        let g = PolicyGraph::theta_line(100, 4).expect("valid");
+        b.iter(|| svd_lower_bound(&gram, &g, eps, delta).expect("bound"));
+    });
+
+    group.bench_function(BenchmarkId::new("fig10a_theta16", 200), |b| {
+        let gram = range_gram_1d(200);
+        let g = PolicyGraph::theta_line(200, 16).expect("valid");
+        b.iter(|| svd_lower_bound(&gram, &g, eps, delta).expect("bound"));
+    });
+
+    group.bench_function(BenchmarkId::new("fig10b_grid_theta2", 81), |b| {
+        let d2 = Domain::square(9);
+        let gram = range_gram(&d2).expect("small domain");
+        let g = PolicyGraph::distance_threshold(d2.clone(), 2).expect("valid");
+        b.iter(|| svd_lower_bound(&gram, &g, eps, delta).expect("bound"));
+    });
+
+    // Bounded DP (complete graph) exercises the O(k³) eigenvalue trick
+    // that avoids the |E|² Gram matrix.
+    group.bench_function(BenchmarkId::new("fig10b_bounded_dp", 81), |b| {
+        let d2 = Domain::square(9);
+        let gram = range_gram(&d2).expect("small domain");
+        let g = PolicyGraph::complete(81).expect("valid");
+        b.iter(|| svd_lower_bound(&gram, &g, eps, delta).expect("bound"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lower_bounds);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the end-to-end Blowfish strategies (one full
+//! private histogram release each, at the experiment scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use blowfish_core::Epsilon;
+use blowfish_data::{dataset, DatasetId};
+use blowfish_strategies::{
+    grid_blowfish_histogram, line_blowfish_histogram, ThetaEstimator, ThetaLineStrategy,
+    TreeEstimator,
+};
+
+fn bench_strategies(c: &mut Criterion) {
+    let eps = Epsilon::new(0.1).expect("valid");
+    let mut group = c.benchmark_group("strategies");
+    group.sample_size(10);
+
+    let x1d = dataset(DatasetId::D);
+    group.bench_function(BenchmarkId::new("line_laplace", 4096), |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            line_blowfish_histogram(&x1d, eps, TreeEstimator::Laplace, &mut rng).expect("line")
+        });
+    });
+    group.bench_function(BenchmarkId::new("line_dawa_cons", 4096), |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            line_blowfish_histogram(&x1d, eps, TreeEstimator::DawaConsistent, &mut rng)
+                .expect("line")
+        });
+    });
+
+    let theta = ThetaLineStrategy::new(4096, 4).expect("k > θ");
+    group.bench_function(BenchmarkId::new("theta4_group_privelet", 4096), |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            theta
+                .histogram(&x1d, eps, ThetaEstimator::GroupPrivelet, &mut rng)
+                .expect("theta")
+        });
+    });
+
+    let x2d = dataset(DatasetId::T100);
+    group.bench_function(BenchmarkId::new("grid_privelet", 100 * 100), |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| grid_blowfish_histogram(&x2d, eps, &mut rng).expect("grid"));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

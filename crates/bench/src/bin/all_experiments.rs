@@ -1,0 +1,34 @@
+//! Runs every experiment harness in sequence — the one-shot regeneration
+//! of the paper's full evaluation (Table 1, Figures 3, 8, 9, 10).
+//!
+//! Accepts the shared flags (`--trials`, `--queries`) and forwards them.
+//! With the paper defaults this takes several minutes; for a quick smoke
+//! run use `--trials 2 --queries 500`.
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bins = ["table1", "fig3", "fig8", "fig9", "fig10"];
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== running {bin}");
+        println!("================================================================");
+        let status = Command::new(std::env::current_exe().expect("self path")
+            .parent().expect("bin dir").join(bin))
+            .args(&args)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                eprintln!("(run the binaries individually via cargo run -p blowfish-bench --bin {bin})");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Regenerates **Figure 10** (Appendix A) — Blowfish SVD lower bounds at
+//! ε = 1, δ = 0.001:
+//!
+//! * panel (a): MINERROR vs domain size for `R_k` under unbounded DP and
+//!   `G^θ_k`, θ ∈ {1, 2, 4, 8, 16};
+//! * panel (b): MINERROR vs domain size for `R_{k²}` under unbounded DP,
+//!   `G^θ_{k²}` (θ ∈ {1, 2, 3}) and bounded DP.
+//!
+//! Flags: `--panel {1d|2d|all}`.
+
+use blowfish_bench::{parse_args, sci};
+use blowfish_core::{range_gram, range_gram_1d, Delta, Domain, Epsilon, PolicyGraph};
+use blowfish_strategies::{svd_lower_bound, svd_lower_bound_unbounded_dp};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let overrides = parse_args(&args);
+    let panel = overrides.panel.clone().unwrap_or_else(|| "all".to_string());
+    let eps = Epsilon::new(1.0).expect("valid");
+    let delta = Delta::new(0.001).expect("valid");
+
+    println!("# Figure 10 — Blowfish SVD lower bounds (ε=1, δ=0.001)");
+
+    if panel == "1d" || panel == "all" {
+        println!("\n## (a) 1D ranges R_k under G^θ_k\n");
+        let thetas = [1usize, 2, 4, 8, 16];
+        print!("| domain size | unbounded DP |");
+        for t in thetas {
+            print!(" θ={t} |");
+        }
+        println!();
+        print!("|---|---|");
+        for _ in thetas {
+            print!("---|");
+        }
+        println!();
+        for k in [32usize, 64, 100, 150, 200, 250, 300] {
+            let gram = range_gram_1d(k);
+            let dp = svd_lower_bound_unbounded_dp(&gram, eps, delta).expect("bound");
+            print!("| {k} | {} |", sci(dp));
+            for t in thetas {
+                let g = PolicyGraph::theta_line(k, t).expect("valid policy");
+                let b = svd_lower_bound(&gram, &g, eps, delta).expect("bound");
+                print!(" {} |", sci(b));
+            }
+            println!();
+        }
+        println!("\nShape check (paper): unbounded DP grows fastest; every θ-curve");
+        println!("crosses below it at large enough k, smaller θ crossing earlier.");
+    }
+
+    if panel == "2d" || panel == "all" {
+        println!("\n## (b) 2D ranges R_k² under G^θ_k²\n");
+        let thetas = [1usize, 2, 3];
+        print!("| domain size (k²) | unbounded DP |");
+        for t in thetas {
+            print!(" θ={t} |");
+        }
+        println!(" bounded DP |");
+        print!("|---|---|");
+        for _ in thetas {
+            print!("---|");
+        }
+        println!("---|");
+        for k in [3usize, 4, 5, 6, 7, 8, 9] {
+            let d2 = Domain::square(k);
+            let gram = range_gram(&d2).expect("small domain");
+            let dp = svd_lower_bound_unbounded_dp(&gram, eps, delta).expect("bound");
+            print!("| {} | {} |", k * k, sci(dp));
+            for t in thetas {
+                let g = PolicyGraph::distance_threshold(d2.clone(), t).expect("valid policy");
+                let b = svd_lower_bound(&gram, &g, eps, delta).expect("bound");
+                print!(" {} |", sci(b));
+            }
+            let bounded = PolicyGraph::complete(k * k).expect("valid policy");
+            let bb = svd_lower_bound(&gram, &bounded, eps, delta).expect("bound");
+            println!(" {} |", sci(bb));
+        }
+        println!("\nShape check (paper): only θ=1 undercuts unbounded DP in 2-D,");
+        println!("but every θ beats bounded DP (up to the ~4x sensitivity gap).");
+    }
+}

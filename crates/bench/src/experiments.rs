@@ -1,0 +1,397 @@
+//! The shared experiment loops behind Figures 8 and 9.
+//!
+//! Section 6 protocol: for each task, compare `ε/2`-differentially-private
+//! baselines against `(ε, G)`-Blowfish strategies, reporting average mean
+//! squared error per query over independent runs (the paper uses 5) on
+//! 10,000 random range queries (or the full histogram workload).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use blowfish_core::{measure_error, DataVector, Domain, Epsilon, RangeQuery, Workload};
+use blowfish_data::{aggregate_1d, dataset, DatasetId};
+use blowfish_strategies::{
+    answer_ranges_1d, answer_ranges_2d, dp_dawa_1d, dp_dawa_2d, dp_laplace, dp_privelet_1d,
+    dp_privelet_nd, grid_blowfish_histogram, line_blowfish_histogram, true_ranges_1d,
+    true_ranges_2d, ThetaEstimator, ThetaLineStrategy, TreeEstimator,
+};
+
+use crate::report::Measurement;
+
+/// Experiment configuration shared by every panel.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Total Blowfish budget ε (baselines run at ε/2).
+    pub epsilon: f64,
+    /// Independent runs per (dataset, algorithm) cell (paper: 5).
+    pub trials: usize,
+    /// Random range queries per run (paper: 10,000).
+    pub queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Paper defaults at the given ε.
+    pub fn paper(epsilon: f64) -> Self {
+        Config {
+            epsilon,
+            trials: 5,
+            queries: 10_000,
+            seed: 0x5EED,
+        }
+    }
+
+    fn eps(&self) -> Epsilon {
+        Epsilon::new(self.epsilon).expect("validated by caller")
+    }
+
+    fn eps_half(&self) -> Epsilon {
+        self.eps().half()
+    }
+}
+
+/// A named histogram estimator: dataset in, estimate out.
+type Estimator<'a> =
+    Box<dyn FnMut(&DataVector, &mut StdRng) -> Vec<f64> + 'a>;
+
+fn run_cell(
+    x: &DataVector,
+    truth: &[f64],
+    answer: impl Fn(&[f64]) -> Vec<f64>,
+    est: &mut Estimator,
+    trials: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = measure_error(truth, trials, |_| {
+        let hist = est(x, &mut rng);
+        Ok(answer(&hist))
+    })
+    .expect("trials > 0 and truth non-empty");
+    (report.mean_mse, report.std_mse)
+}
+
+/// The Hist panel (Figures 8b/8f, 9b/9f): the identity workload on
+/// datasets A–G under `G¹_k`.
+pub fn hist_panel(cfg: &Config) -> Vec<Measurement> {
+    let eps = cfg.eps();
+    let eps2 = cfg.eps_half();
+    let mut out = Vec::new();
+    for id in DatasetId::one_dimensional() {
+        let x = dataset(id);
+        let truth = x.counts().to_vec();
+        let algorithms: Vec<(&str, Estimator)> = vec![
+            (
+                "Laplace",
+                Box::new(move |x, rng| dp_laplace(x, eps2, rng).expect("laplace")),
+            ),
+            (
+                "Dawa",
+                Box::new(move |x, rng| dp_dawa_1d(x, eps2, rng).expect("dawa")),
+            ),
+            (
+                "Transformed + Laplace",
+                Box::new(move |x, rng| {
+                    line_blowfish_histogram(x, eps, TreeEstimator::Laplace, rng).expect("t+l")
+                }),
+            ),
+            (
+                "Transformed + ConsistentEst",
+                Box::new(move |x, rng| {
+                    line_blowfish_histogram(x, eps, TreeEstimator::LaplaceConsistent, rng)
+                        .expect("t+c")
+                }),
+            ),
+            (
+                "Trans + Dawa + Cons",
+                Box::new(move |x, rng| {
+                    line_blowfish_histogram(x, eps, TreeEstimator::DawaConsistent, rng)
+                        .expect("t+d+c")
+                }),
+            ),
+        ];
+        for (name, mut est) in algorithms {
+            let (mse, std) = run_cell(
+                &x,
+                &truth,
+                |h| h.to_vec(),
+                &mut est,
+                cfg.trials,
+                cfg.seed ^ hash(name) ^ hash(id.name()),
+            );
+            out.push(Measurement {
+                column: id.name().to_string(),
+                algorithm: name.to_string(),
+                mse,
+                std,
+            });
+        }
+    }
+    out
+}
+
+/// The 1D-Range panel (Figures 8c/8g, 9c/9g): random 1-D ranges on A–G
+/// under `G¹_k`.
+pub fn range1d_panel(cfg: &Config) -> Vec<Measurement> {
+    let eps = cfg.eps();
+    let eps2 = cfg.eps_half();
+    let mut out = Vec::new();
+    for id in DatasetId::one_dimensional() {
+        let x = dataset(id);
+        let d = Domain::one_dim(x.len());
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
+        let specs = blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
+        let truth = true_ranges_1d(&x, &specs).expect("truth");
+        let algorithms: Vec<(&str, Estimator)> = vec![
+            (
+                "Privelet",
+                Box::new(move |x, rng| dp_privelet_1d(x, eps2, rng).expect("privelet")),
+            ),
+            (
+                "Dawa",
+                Box::new(move |x, rng| dp_dawa_1d(x, eps2, rng).expect("dawa")),
+            ),
+            (
+                "Transformed + Laplace",
+                Box::new(move |x, rng| {
+                    line_blowfish_histogram(x, eps, TreeEstimator::Laplace, rng).expect("t+l")
+                }),
+            ),
+            (
+                "Transformed + ConsistentEst",
+                Box::new(move |x, rng| {
+                    line_blowfish_histogram(x, eps, TreeEstimator::LaplaceConsistent, rng)
+                        .expect("t+c")
+                }),
+            ),
+            (
+                "Trans + Dawa + Cons",
+                Box::new(move |x, rng| {
+                    line_blowfish_histogram(x, eps, TreeEstimator::DawaConsistent, rng)
+                        .expect("t+d+c")
+                }),
+            ),
+        ];
+        for (name, mut est) in algorithms {
+            let (mse, std) = run_cell(
+                &x,
+                &truth,
+                |h| answer_ranges_1d(h, &specs).expect("answers"),
+                &mut est,
+                cfg.trials,
+                cfg.seed ^ hash(name) ^ hash(id.name()),
+            );
+            out.push(Measurement {
+                column: id.name().to_string(),
+                algorithm: name.to_string(),
+                mse,
+                std,
+            });
+        }
+    }
+    out
+}
+
+/// The `G⁴_k` panel (Figures 8d/8h, 9d/9h): dataset D aggregated to
+/// domain sizes 512–4096, random 1-D ranges.
+pub fn theta_panel(cfg: &Config) -> Vec<Measurement> {
+    let eps = cfg.eps();
+    let eps2 = cfg.eps_half();
+    let base = dataset(DatasetId::D);
+    let mut out = Vec::new();
+    for k in [512usize, 1024, 2048, 4096] {
+        let x = if k == 4096 {
+            base.clone()
+        } else {
+            aggregate_1d(&base, k).expect("divisible")
+        };
+        let strat = ThetaLineStrategy::new(k, 4).expect("k > θ");
+        let d = Domain::one_dim(k);
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0xDCBA ^ k as u64);
+        let specs = blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
+        let truth = true_ranges_1d(&x, &specs).expect("truth");
+        let strat_ref = &strat;
+        let algorithms: Vec<(&str, Estimator)> = vec![
+            (
+                "Privelet",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    dp_privelet_1d(x, eps2, rng).expect("privelet")
+                }),
+            ),
+            (
+                "Dawa",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    dp_dawa_1d(x, eps2, rng).expect("dawa")
+                }),
+            ),
+            (
+                "Transformed + Laplace",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    strat_ref
+                        .histogram(x, eps, ThetaEstimator::Laplace, rng)
+                        .expect("t+l")
+                }),
+            ),
+            (
+                "Trans + Dawa",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    strat_ref
+                        .histogram(x, eps, ThetaEstimator::Dawa, rng)
+                        .expect("t+d")
+                }),
+            ),
+        ];
+        for (name, mut est) in algorithms {
+            let (mse, std) = run_cell(
+                &x,
+                &truth,
+                |h| answer_ranges_1d(h, &specs).expect("answers"),
+                &mut est,
+                cfg.trials,
+                cfg.seed ^ hash(name) ^ k as u64,
+            );
+            out.push(Measurement {
+                column: k.to_string(),
+                algorithm: name.to_string(),
+                mse,
+                std,
+            });
+        }
+    }
+    out
+}
+
+/// The 2D-Range panel (Figures 8a/8e, 9a/9e): random 2-D ranges on the
+/// tweet grids under `G¹_{k²}`.
+pub fn range2d_panel(cfg: &Config) -> Vec<Measurement> {
+    let eps = cfg.eps();
+    let eps2 = cfg.eps_half();
+    let mut out = Vec::new();
+    for id in DatasetId::two_dimensional() {
+        let x = dataset(id);
+        let k = x.domain().dim(0);
+        let d = Domain::square(k);
+        let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0x2D2D ^ k as u64);
+        let specs: Vec<RangeQuery> =
+            blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
+        let truth = true_ranges_2d(&x, &specs).expect("truth");
+        let algorithms: Vec<(&str, Estimator)> = vec![
+            (
+                "Privelet",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    dp_privelet_nd(x, eps2, rng).expect("privelet")
+                }),
+            ),
+            (
+                "Dawa",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    dp_dawa_2d(x, eps2, rng).expect("dawa")
+                }),
+            ),
+            (
+                "Transformed + Privelet",
+                Box::new(move |x: &DataVector, rng: &mut StdRng| {
+                    grid_blowfish_histogram(x, eps, rng).expect("t+p")
+                }),
+            ),
+        ];
+        for (name, mut est) in algorithms {
+            let (mse, std) = run_cell(
+                &x,
+                &truth,
+                |h| answer_ranges_2d(h, k, k, &specs).expect("answers"),
+                &mut est,
+                cfg.trials,
+                cfg.seed ^ hash(name) ^ k as u64,
+            );
+            out.push(Measurement {
+                column: id.name().to_string(),
+                algorithm: name.to_string(),
+                mse,
+                std,
+            });
+        }
+    }
+    out
+}
+
+/// Small deterministic string hash for seed derivation.
+fn hash(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Returns the workload description line printed by the figure binaries.
+pub fn panel_description(name: &str, cfg: &Config) -> String {
+    format!(
+        "{name}: ε={} (baselines at ε/2), {} trials, {} random queries",
+        cfg.epsilon, cfg.trials, cfg.queries
+    )
+}
+
+/// Convenience: the Workload object (not used in the hot loops, which go
+/// through prefix sums, but exported for tests and examples).
+pub fn random_workload_1d(k: usize, queries: usize, seed: u64) -> (Workload, Vec<RangeQuery>) {
+    let d = Domain::one_dim(k);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Workload::random_ranges(&d, queries, &mut rng).expect("valid domain")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            epsilon: 1.0,
+            trials: 2,
+            queries: 50,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn hist_panel_shape() {
+        let rows = hist_panel(&tiny());
+        // 7 datasets × 5 algorithms.
+        assert_eq!(rows.len(), 35);
+        assert!(rows.iter().all(|m| m.mse.is_finite() && m.mse >= 0.0));
+    }
+
+    #[test]
+    fn range1d_panel_shape() {
+        let rows = range1d_panel(&tiny());
+        assert_eq!(rows.len(), 35);
+    }
+
+    #[test]
+    fn theta_panel_shape() {
+        let rows = theta_panel(&tiny());
+        // 4 domain sizes × 4 algorithms.
+        assert_eq!(rows.len(), 16);
+    }
+
+    #[test]
+    fn range2d_panel_shape() {
+        let mut cfg = tiny();
+        cfg.queries = 30;
+        let rows = range2d_panel(&cfg);
+        // 3 datasets × 3 algorithms.
+        assert_eq!(rows.len(), 9);
+    }
+
+    #[test]
+    fn helpers() {
+        let cfg = tiny();
+        assert!(panel_description("Hist", &cfg).contains("ε=1"));
+        let (w, specs) = random_workload_1d(16, 5, 3);
+        assert_eq!(w.len(), 5);
+        assert_eq!(specs.len(), 5);
+        assert_ne!(hash("a"), hash("b"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Privacy-budget accounting.
+//!
+//! Thin, validated wrappers for ε (and δ) plus the composition rules the
+//! Section-5 strategies rely on: sequential composition (budgets add),
+//! parallel composition (disjoint data shares one budget), and the
+//! Lemma 4.5 subgraph-approximation scaling (an `(ε, G′)` mechanism is
+//! `(ℓ·ε, G)`-private, so target budgets divide by the certified stretch).
+
+use crate::CoreError;
+
+/// A validated privacy budget ε > 0.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Creates a budget, rejecting non-positive or non-finite values.
+    pub fn new(eps: f64) -> Result<Self, CoreError> {
+        if !eps.is_finite() || eps <= 0.0 {
+            return Err(CoreError::InvalidEpsilon { eps });
+        }
+        Ok(Epsilon(eps))
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Splits the budget evenly across `parts` sequentially-composed
+    /// sub-mechanisms.
+    pub fn split(&self, parts: usize) -> Result<Epsilon, CoreError> {
+        if parts == 0 {
+            return Err(CoreError::InvalidEpsilon { eps: 0.0 });
+        }
+        Epsilon::new(self.0 / parts as f64)
+    }
+
+    /// Scales the budget by `1/ℓ` for a certified stretch-ℓ spanner
+    /// (Corollary 4.6): running the transformed mechanism at `ε/ℓ` yields
+    /// an `(ε, G)`-Blowfish guarantee.
+    pub fn for_stretch(&self, stretch: usize) -> Result<Epsilon, CoreError> {
+        if stretch == 0 {
+            return Err(CoreError::InvalidEpsilon { eps: 0.0 });
+        }
+        Epsilon::new(self.0 / stretch as f64)
+    }
+
+    /// Half the budget — the paper's experiments compare `ε/2`-DP baselines
+    /// against `(ε, G)`-Blowfish mechanisms (Section 6).
+    pub fn half(&self) -> Epsilon {
+        Epsilon(self.0 / 2.0)
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// A validated failure probability δ ∈ (0, 1) for (ε, δ) guarantees
+/// (Appendix A's `P(ε, δ)` lower-bound constant).
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Delta(f64);
+
+impl Delta {
+    /// Creates a δ, rejecting values outside `(0, 1)`.
+    pub fn new(delta: f64) -> Result<Self, CoreError> {
+        if !delta.is_finite() || delta <= 0.0 || delta >= 1.0 {
+            return Err(CoreError::InvalidDelta { delta });
+        }
+        Ok(Delta(delta))
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Tracks sequential composition against a total budget. Parallel
+/// composition is modeled by charging a group once via
+/// [`BudgetLedger::charge`] with the maximum of its members.
+#[derive(Clone, Debug)]
+pub struct BudgetLedger {
+    total: Epsilon,
+    spent: f64,
+    entries: Vec<(&'static str, f64)>,
+}
+
+impl BudgetLedger {
+    /// Opens a ledger with the given total budget.
+    pub fn new(total: Epsilon) -> Self {
+        BudgetLedger {
+            total,
+            spent: 0.0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Charges `eps` under `label`; errors when the total would be
+    /// exceeded (beyond a small floating-point slack).
+    pub fn charge(&mut self, label: &'static str, eps: Epsilon) -> Result<(), CoreError> {
+        let new_total = self.spent + eps.value();
+        if new_total > self.total.value() * (1.0 + 1e-9) {
+            return Err(CoreError::BudgetExceeded {
+                total: self.total.value(),
+                attempted: new_total,
+            });
+        }
+        self.spent = new_total;
+        self.entries.push((label, eps.value()));
+        Ok(())
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget.
+    pub fn remaining(&self) -> f64 {
+        (self.total.value() - self.spent).max(0.0)
+    }
+
+    /// The charge history.
+    pub fn entries(&self) -> &[(&'static str, f64)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(0.1).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn split_and_stretch() {
+        let e = Epsilon::new(0.9).unwrap();
+        assert!((e.split(3).unwrap().value() - 0.3).abs() < 1e-12);
+        assert!((e.for_stretch(3).unwrap().value() - 0.3).abs() < 1e-12);
+        assert!((e.half().value() - 0.45).abs() < 1e-12);
+        assert!(e.split(0).is_err());
+        assert!(e.for_stretch(0).is_err());
+    }
+
+    #[test]
+    fn delta_validation() {
+        assert!(Delta::new(0.001).is_ok());
+        assert!(Delta::new(0.0).is_err());
+        assert!(Delta::new(1.0).is_err());
+    }
+
+    #[test]
+    fn ledger_tracks_and_rejects_overspend() {
+        let mut ledger = BudgetLedger::new(Epsilon::new(1.0).unwrap());
+        ledger
+            .charge("partition", Epsilon::new(0.25).unwrap())
+            .unwrap();
+        ledger
+            .charge("estimate", Epsilon::new(0.75).unwrap())
+            .unwrap();
+        assert!((ledger.spent() - 1.0).abs() < 1e-12);
+        assert!(ledger.remaining() < 1e-12);
+        assert!(ledger
+            .charge("extra", Epsilon::new(0.1).unwrap())
+            .is_err());
+        assert_eq!(ledger.entries().len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Epsilon::new(0.5).unwrap().to_string(), "ε=0.5");
+    }
+}

@@ -1,0 +1,123 @@
+//! Error measurement (Definition 2.4).
+//!
+//! The paper measures mechanisms by *mean squared error per query*:
+//! `ERROR_M(W, x) = Σᵢ E[(qᵢx − M(qᵢ, x))²]`, reported per query and
+//! averaged over independent trials (Section 6 uses 5 runs). This module
+//! provides the trial loop used by every experiment harness.
+
+use crate::CoreError;
+
+/// Mean squared error between a truth vector and one estimate vector,
+/// averaged over queries.
+pub fn mse_per_query(truth: &[f64], estimate: &[f64]) -> Result<f64, CoreError> {
+    if truth.len() != estimate.len() || truth.is_empty() {
+        return Err(CoreError::DataShapeMismatch {
+            domain_size: truth.len(),
+            data_len: estimate.len(),
+        });
+    }
+    let sum: f64 = truth
+        .iter()
+        .zip(estimate)
+        .map(|(t, e)| (t - e) * (t - e))
+        .sum();
+    Ok(sum / truth.len() as f64)
+}
+
+/// Result of a repeated-trial error measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorReport {
+    /// Mean over trials of the per-query mean squared error.
+    pub mean_mse: f64,
+    /// Sample standard deviation of the per-trial MSE (0 for one trial).
+    pub std_mse: f64,
+    /// Number of trials.
+    pub trials: usize,
+    /// Number of queries per trial.
+    pub queries: usize,
+}
+
+/// Runs `trials` independent executions of a mechanism and reports the
+/// average per-query MSE against `truth`. The closure receives the trial
+/// index and must return one estimate per query.
+pub fn measure_error<F>(truth: &[f64], trials: usize, mut run: F) -> Result<ErrorReport, CoreError>
+where
+    F: FnMut(usize) -> Result<Vec<f64>, CoreError>,
+{
+    if trials == 0 || truth.is_empty() {
+        return Err(CoreError::DataShapeMismatch {
+            domain_size: truth.len(),
+            data_len: 0,
+        });
+    }
+    let mut per_trial = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let est = run(t)?;
+        per_trial.push(mse_per_query(truth, &est)?);
+    }
+    let mean = per_trial.iter().sum::<f64>() / trials as f64;
+    let var = if trials > 1 {
+        per_trial
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / (trials - 1) as f64
+    } else {
+        0.0
+    };
+    Ok(ErrorReport {
+        mean_mse: mean,
+        std_mse: var.sqrt(),
+        trials,
+        queries: truth.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_values() {
+        let truth = [1.0, 2.0, 3.0];
+        let est = [1.0, 4.0, 2.0];
+        // (0 + 4 + 1) / 3
+        assert!((mse_per_query(&truth, &est).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!(mse_per_query(&truth, &[1.0]).is_err());
+        assert!(mse_per_query(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn measure_error_deterministic() {
+        let truth = [10.0, 20.0];
+        let report = measure_error(&truth, 4, |_| Ok(vec![11.0, 19.0])).unwrap();
+        assert!((report.mean_mse - 1.0).abs() < 1e-12);
+        assert_eq!(report.std_mse, 0.0);
+        assert_eq!(report.trials, 4);
+        assert_eq!(report.queries, 2);
+    }
+
+    #[test]
+    fn measure_error_varying_trials() {
+        let truth = [0.0];
+        // Trial t returns estimate t: MSE = t².
+        let report = measure_error(&truth, 3, |t| Ok(vec![t as f64])).unwrap();
+        // Mean of 0, 1, 4 = 5/3.
+        assert!((report.mean_mse - 5.0 / 3.0).abs() < 1e-12);
+        assert!(report.std_mse > 0.0);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        assert!(measure_error(&[1.0], 0, |_| Ok(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn propagates_inner_error() {
+        let truth = [1.0];
+        let res = measure_error(&truth, 2, |_| {
+            Err(CoreError::EmptyDomain)
+        });
+        assert!(res.is_err());
+    }
+}

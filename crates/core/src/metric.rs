@@ -1,0 +1,222 @@
+//! The policy metric on databases (Section 3, Equation 1).
+//!
+//! A policy graph induces a metric over single-record changes: moving a
+//! record from `u` to `v` costs `dist_G(u, v)` hops, and an
+//! `(ε, G)`-Blowfish mechanism's output odds between such databases are
+//! bounded by `e^{ε·dist_G(u, v)}`. This module computes those distances
+//! and the induced *effective privacy guarantee* per value pair — the
+//! quantity an application designer inspects when choosing a policy
+//! ("fine-grained locations get e^ε, city-level only e^{10ε}"), and the
+//! formal content of the geo-indistinguishability comparison.
+
+use crate::policy::PolicyGraph;
+use crate::CoreError;
+
+/// All-pairs policy distances. `usize::MAX` encodes "disconnected": the
+/// policy places *no* bound on distinguishing those values (Appendix E
+/// exact-disclosure semantics).
+#[derive(Clone, Debug)]
+pub struct PolicyMetric {
+    k: usize,
+    /// Row-major `k × k` distance table.
+    dist: Vec<usize>,
+}
+
+impl PolicyMetric {
+    /// Computes the metric by one BFS per value vertex: O(|V|·(|V|+|E|)).
+    pub fn new(g: &PolicyGraph) -> Result<Self, CoreError> {
+        let k = g.num_values();
+        if k == 0 {
+            return Err(CoreError::EmptyDomain);
+        }
+        let mut dist = vec![usize::MAX; k * k];
+        for u in 0..k {
+            let d = g.bfs_distances(u);
+            for v in 0..k {
+                dist[u * k + v] = d[v];
+            }
+        }
+        Ok(PolicyMetric { k, dist })
+    }
+
+    /// `dist_G(u, v)`, or `None` when the policy never connects the pair.
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        let d = self.dist[u * self.k + v];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// The effective log-odds bound `ε·dist_G(u, v)` an `(ε, G)`-Blowfish
+    /// mechanism guarantees between databases differing by one record
+    /// moved from `u` to `v` (Equation 1). `None` = unbounded (the policy
+    /// permits exact disclosure of this distinction).
+    pub fn effective_epsilon(&self, u: usize, v: usize, eps: f64) -> Option<f64> {
+        self.distance(u, v).map(|d| eps * d as f64)
+    }
+
+    /// The diameter of the policy metric (largest finite pairwise
+    /// distance) — the weakest guarantee any value pair receives.
+    pub fn diameter(&self) -> usize {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every pair is connected (no exact disclosure anywhere).
+    pub fn is_complete(&self) -> bool {
+        self.dist.iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Verifies the triangle inequality holds (it must, for shortest-path
+    /// distances; exposed for property tests and as a guard after custom
+    /// graph surgery).
+    pub fn satisfies_triangle_inequality(&self) -> bool {
+        let k = self.k;
+        for a in 0..k {
+            for b in 0..k {
+                let dab = self.dist[a * k + b];
+                if dab == usize::MAX {
+                    continue;
+                }
+                for c in 0..k {
+                    let dbc = self.dist[b * k + c];
+                    let dac = self.dist[a * k + c];
+                    if dbc == usize::MAX {
+                        continue;
+                    }
+                    if dac == usize::MAX || dac > dab + dbc {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The maximum multiplicative distortion incurred when this metric is
+    /// evaluated through another policy on the same domain:
+    /// `max_{u,v} dist_other(u,v) / dist_self(u,v)` over connected pairs.
+    /// The all-pairs analogue of the edge-wise stretch of Lemma 4.5.
+    pub fn distortion_against(&self, other: &PolicyMetric) -> Result<f64, CoreError> {
+        if self.k != other.k {
+            return Err(CoreError::DataShapeMismatch {
+                domain_size: self.k,
+                data_len: other.k,
+            });
+        }
+        let mut worst = 1.0_f64;
+        for u in 0..self.k {
+            for v in 0..self.k {
+                if u == v {
+                    continue;
+                }
+                match (self.distance(u, v), other.distance(u, v)) {
+                    (Some(a), Some(b)) if a > 0 => {
+                        worst = worst.max(b as f64 / a as f64);
+                    }
+                    (Some(_), None) => return Err(CoreError::NotConnectedToBottom),
+                    _ => {}
+                }
+            }
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::spanner::theta_line_spanner;
+
+    #[test]
+    fn line_metric_is_absolute_difference() {
+        let g = PolicyGraph::line(8).unwrap();
+        let m = PolicyMetric::new(&g).unwrap();
+        for u in 0..8 {
+            for v in 0..8 {
+                assert_eq!(m.distance(u, v), Some(u.abs_diff(v)));
+            }
+        }
+        assert_eq!(m.diameter(), 7);
+        assert!(m.is_complete());
+        assert!(m.satisfies_triangle_inequality());
+    }
+
+    #[test]
+    fn theta_metric_is_ceil_division() {
+        // G^θ: dist(u, v) = ⌈|u−v|/θ⌉ — the paper's ⌈d(u,v)/θ⌉ guarantee.
+        let theta = 3;
+        let g = PolicyGraph::theta_line(10, theta).unwrap();
+        let m = PolicyMetric::new(&g).unwrap();
+        for u in 0..10usize {
+            for v in 0..10usize {
+                let expected = u.abs_diff(v).div_ceil(theta);
+                assert_eq!(m.distance(u, v), Some(expected), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn effective_epsilon_scales_with_distance() {
+        let g = PolicyGraph::line(16).unwrap();
+        let m = PolicyMetric::new(&g).unwrap();
+        let eps = 0.1;
+        assert_eq!(m.effective_epsilon(3, 4, eps), Some(0.1));
+        // Values 10 apart are 10x less protected — the graceful decay of
+        // geo-indistinguishability.
+        let far = m.effective_epsilon(0, 10, eps).unwrap();
+        assert!((far - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_unbounded() {
+        let d = Domain::product(&[2, 2]).unwrap();
+        let g = PolicyGraph::sensitive_attributes(d, &[1]).unwrap();
+        let m = PolicyMetric::new(&g).unwrap();
+        // Within a component: protected.
+        assert_eq!(m.distance(0, 1), Some(1));
+        // Across components (different non-sensitive value): exact
+        // disclosure allowed.
+        assert_eq!(m.distance(0, 2), None);
+        assert_eq!(m.effective_epsilon(0, 2, 1.0), None);
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    fn grid_metric_matches_scaled_manhattan() {
+        let d = Domain::square(5);
+        let g = PolicyGraph::distance_threshold(d.clone(), 2).unwrap();
+        let m = PolicyMetric::new(&g).unwrap();
+        for u in 0..25 {
+            for v in 0..25 {
+                let l1 = d.l1_distance(u, v).unwrap();
+                assert_eq!(m.distance(u, v), Some(l1.div_ceil(2)), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn distortion_against_spanner_matches_stretch_order() {
+        let k = 18;
+        let theta = 3;
+        let g = PolicyGraph::theta_line(k, theta).unwrap();
+        let sp = theta_line_spanner(k, theta).unwrap();
+        let mg = PolicyMetric::new(&g).unwrap();
+        let mh = PolicyMetric::new(&sp.graph).unwrap();
+        let distortion = mg.distortion_against(&mh).unwrap();
+        // Edge-wise stretch ≤ all-pairs distortion ≤ also bounded by the
+        // same constant for this construction.
+        assert!(distortion >= sp.stretch as f64 - 1e-9 || distortion <= 3.0);
+        assert!(distortion <= 3.0 + 1e-9, "distortion {distortion}");
+    }
+
+    #[test]
+    fn distortion_shape_errors() {
+        let a = PolicyMetric::new(&PolicyGraph::line(4).unwrap()).unwrap();
+        let b = PolicyMetric::new(&PolicyGraph::line(5).unwrap()).unwrap();
+        assert!(a.distortion_against(&b).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Neighboring databases under differential privacy and Blowfish.
+//!
+//! Definitions 2.1 (DP neighbors: add/remove one record) and 3.2 (Blowfish
+//! neighbors: move a record along a policy edge, or add/remove when the
+//! value has a ⊥-edge). These enumerators power the statistical
+//! privacy-ratio tests and the Claim 4.2 neighbor-bijection property tests.
+
+use crate::database::DataVector;
+use crate::policy::{PolicyGraph, Vtx};
+use crate::CoreError;
+
+/// Enumerates all Blowfish neighbors of an integer-valued histogram `x`
+/// under policy `G` (Definition 3.2):
+///
+/// * for every edge `(u, v)`: move one record `u → v` (if `x[u] ≥ 1`) and
+///   `v → u` (if `x[v] ≥ 1`);
+/// * for every edge `(u, ⊥)`: add one record at `u`, and remove one (if
+///   `x[u] ≥ 1`).
+pub fn blowfish_neighbors(
+    x: &DataVector,
+    g: &PolicyGraph,
+) -> Result<Vec<DataVector>, CoreError> {
+    if x.len() != g.num_values() {
+        return Err(CoreError::DataShapeMismatch {
+            domain_size: g.num_values(),
+            data_len: x.len(),
+        });
+    }
+    let mut out = Vec::new();
+    for e in g.edges() {
+        match e.v {
+            Vtx::Value(v) => {
+                if x.get(e.u) >= 1.0 {
+                    let mut y = x.clone();
+                    y.counts_mut()[e.u] -= 1.0;
+                    y.counts_mut()[v] += 1.0;
+                    out.push(y);
+                }
+                if x.get(v) >= 1.0 {
+                    let mut y = x.clone();
+                    y.counts_mut()[v] -= 1.0;
+                    y.counts_mut()[e.u] += 1.0;
+                    out.push(y);
+                }
+            }
+            Vtx::Bottom => {
+                let mut add = x.clone();
+                add.counts_mut()[e.u] += 1.0;
+                out.push(add);
+                if x.get(e.u) >= 1.0 {
+                    let mut rem = x.clone();
+                    rem.counts_mut()[e.u] -= 1.0;
+                    out.push(rem);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Enumerates all unbounded-DP neighbors of `x` (Definition 2.1): add one
+/// record at any value, or remove one existing record.
+pub fn dp_neighbors_unbounded(x: &DataVector) -> Vec<DataVector> {
+    let mut out = Vec::with_capacity(2 * x.len());
+    for i in 0..x.len() {
+        let mut add = x.clone();
+        add.counts_mut()[i] += 1.0;
+        out.push(add);
+        if x.get(i) >= 1.0 {
+            let mut rem = x.clone();
+            rem.counts_mut()[i] -= 1.0;
+            out.push(rem);
+        }
+    }
+    out
+}
+
+/// Checks whether `x` and `y` are Blowfish neighbors under `G`
+/// (Definition 3.2): they must differ in exactly one moved record along an
+/// edge, or one added/removed record whose value has a ⊥-edge.
+pub fn are_blowfish_neighbors(
+    x: &DataVector,
+    y: &DataVector,
+    g: &PolicyGraph,
+) -> Result<bool, CoreError> {
+    if x.len() != g.num_values() || y.len() != g.num_values() {
+        return Err(CoreError::DataShapeMismatch {
+            domain_size: g.num_values(),
+            data_len: x.len().max(y.len()),
+        });
+    }
+    let mut diffs: Vec<(usize, f64)> = Vec::new();
+    for i in 0..x.len() {
+        let d = y.get(i) - x.get(i);
+        if d != 0.0 {
+            diffs.push((i, d));
+            if diffs.len() > 2 {
+                return Ok(false);
+            }
+        }
+    }
+    match diffs.as_slice() {
+        // One record added or removed at u: needs edge (u, ⊥).
+        [(u, d)] if d.abs() == 1.0 => Ok(g
+            .neighbors(*u)
+            .iter()
+            .any(|&(v, _)| v == g.num_values())),
+        // One record moved between u and v: needs edge (u, v).
+        [(u, du), (v, dv)] if *du == -*dv && du.abs() == 1.0 => Ok(g
+            .neighbors(*u)
+            .iter()
+            .any(|&(w, _)| w == *v)),
+        _ => Ok(false),
+    }
+}
+
+/// L1 distance between two histograms — the metric in which unbounded-DP
+/// neighbors are exactly the pairs at distance 1.
+pub fn l1_distance(x: &DataVector, y: &DataVector) -> f64 {
+    x.counts()
+        .iter()
+        .zip(y.counts())
+        .map(|(a, b)| (a - b).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    fn db(counts: Vec<f64>) -> DataVector {
+        let k = counts.len();
+        DataVector::new(Domain::one_dim(k), counts).unwrap()
+    }
+
+    #[test]
+    fn line_policy_neighbors() {
+        let g = PolicyGraph::line(3).unwrap();
+        let x = db(vec![1.0, 0.0, 2.0]);
+        let ns = blowfish_neighbors(&x, &g).unwrap();
+        // Edge (0,1): 0→1 possible (x0=1), 1→0 impossible (x1=0).
+        // Edge (1,2): 1→2 impossible, 2→1 possible.
+        assert_eq!(ns.len(), 2);
+        assert!(ns.iter().any(|n| n.counts() == [0.0, 1.0, 2.0]));
+        assert!(ns.iter().any(|n| n.counts() == [1.0, 1.0, 1.0]));
+        // Neighbors preserve the total (no ⊥ in the line policy).
+        for n in &ns {
+            assert_eq!(n.total(), x.total());
+        }
+    }
+
+    #[test]
+    fn star_policy_neighbors_change_total() {
+        let g = PolicyGraph::star(2).unwrap();
+        let x = db(vec![1.0, 0.0]);
+        let ns = blowfish_neighbors(&x, &g).unwrap();
+        // Add at 0, remove at 0, add at 1 (remove at 1 impossible).
+        assert_eq!(ns.len(), 3);
+        assert!(ns.iter().any(|n| n.total() == 2.0));
+        assert!(ns.iter().any(|n| n.total() == 0.0));
+    }
+
+    #[test]
+    fn dp_neighbors_count() {
+        let x = db(vec![1.0, 0.0, 3.0]);
+        let ns = dp_neighbors_unbounded(&x);
+        // 3 additions + 2 removals (cell 1 is empty).
+        assert_eq!(ns.len(), 5);
+        for n in &ns {
+            assert_eq!(l1_distance(&x, n), 1.0);
+        }
+    }
+
+    #[test]
+    fn are_neighbors_detects_moves() {
+        let g = PolicyGraph::line(4).unwrap();
+        let x = db(vec![1.0, 1.0, 1.0, 1.0]);
+        let moved = db(vec![0.0, 2.0, 1.0, 1.0]); // 0→1, edge exists
+        assert!(are_blowfish_neighbors(&x, &moved, &g).unwrap());
+        let far = db(vec![0.0, 1.0, 1.0, 2.0]); // 0→3, no edge
+        assert!(!are_blowfish_neighbors(&x, &far, &g).unwrap());
+        let two = db(vec![0.0, 2.0, 0.0, 2.0]); // two moves
+        assert!(!are_blowfish_neighbors(&x, &two, &g).unwrap());
+        assert!(!are_blowfish_neighbors(&x, &x, &g).unwrap());
+    }
+
+    #[test]
+    fn are_neighbors_bottom_edges() {
+        let g = PolicyGraph::star(3).unwrap();
+        let x = db(vec![1.0, 1.0, 1.0]);
+        let added = db(vec![2.0, 1.0, 1.0]);
+        assert!(are_blowfish_neighbors(&x, &added, &g).unwrap());
+        // Under the line policy (no ⊥), the same pair is NOT neighboring.
+        let line = PolicyGraph::line(3).unwrap();
+        assert!(!are_blowfish_neighbors(&x, &added, &line).unwrap());
+    }
+
+    #[test]
+    fn enumerated_neighbors_satisfy_predicate() {
+        let g = PolicyGraph::theta_line(5, 2).unwrap();
+        let x = db(vec![2.0, 0.0, 1.0, 3.0, 1.0]);
+        for n in blowfish_neighbors(&x, &g).unwrap() {
+            assert!(are_blowfish_neighbors(&x, &n, &g).unwrap());
+        }
+    }
+}

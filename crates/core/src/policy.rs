@@ -1,0 +1,647 @@
+//! Blowfish policy graphs.
+//!
+//! A policy graph `G = (V, E)` with `V ⊆ T ∪ {⊥}` (Definition 3.1) encodes
+//! which pairs of domain values an adversary must not be able to distinguish
+//! between. An edge `(u, ⊥)` protects the presence/absence of a record with
+//! value `u`. This module provides the graph type, the families of policies
+//! studied in the paper (line, distance-threshold/grid, complete, star,
+//! cycle, sensitive-attribute), and graph utilities (connectivity, BFS
+//! distances, tree tests) used by the transformation machinery.
+
+use std::collections::VecDeque;
+
+use crate::domain::Domain;
+use crate::CoreError;
+
+/// A vertex of a policy graph: a domain value or the distinguished ⊥.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vtx {
+    /// A domain value, identified by its flat index.
+    Value(usize),
+    /// The dummy vertex ⊥ (Definition 3.1): an edge `(u, ⊥)` means the
+    /// presence or absence of a record with value `u` is protected.
+    Bottom,
+}
+
+/// An undirected policy-graph edge. Stored canonically: value-value edges
+/// have `u < v`; ⊥ always sits in the second slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PolicyEdge {
+    /// First endpoint (always a value).
+    pub u: usize,
+    /// Second endpoint.
+    pub v: Vtx,
+}
+
+impl PolicyEdge {
+    /// Canonicalizes an unordered pair into a [`PolicyEdge`].
+    pub fn new(a: Vtx, b: Vtx) -> Result<Self, CoreError> {
+        match (a, b) {
+            (Vtx::Bottom, Vtx::Bottom) => Err(CoreError::InvalidEdge {
+                reason: "both endpoints are ⊥",
+            }),
+            (Vtx::Value(u), Vtx::Bottom) | (Vtx::Bottom, Vtx::Value(u)) => Ok(PolicyEdge {
+                u,
+                v: Vtx::Bottom,
+            }),
+            (Vtx::Value(u), Vtx::Value(v)) => {
+                if u == v {
+                    Err(CoreError::InvalidEdge {
+                        reason: "self-loop",
+                    })
+                } else {
+                    Ok(PolicyEdge {
+                        u: u.min(v),
+                        v: Vtx::Value(u.max(v)),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Whether this edge touches ⊥.
+    pub fn touches_bottom(&self) -> bool {
+        self.v == Vtx::Bottom
+    }
+}
+
+/// A Blowfish policy graph over a [`Domain`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyGraph {
+    domain: Domain,
+    edges: Vec<PolicyEdge>,
+    /// `adj[u]` lists `(neighbor, edge index)`; `neighbor == k` encodes ⊥.
+    adj: Vec<Vec<(usize, usize)>>,
+    /// Adjacency of ⊥: `(value vertex, edge index)` pairs.
+    bottom_adj: Vec<(usize, usize)>,
+    name: String,
+}
+
+impl PolicyGraph {
+    /// Builds a policy graph from explicit edges. Duplicate edges are
+    /// rejected.
+    pub fn from_edges(
+        domain: Domain,
+        raw_edges: Vec<PolicyEdge>,
+        name: impl Into<String>,
+    ) -> Result<Self, CoreError> {
+        let k = domain.size();
+        let mut edges = Vec::with_capacity(raw_edges.len());
+        let mut adj = vec![Vec::new(); k];
+        let mut bottom_adj = Vec::new();
+        let mut seen = std::collections::HashSet::with_capacity(raw_edges.len());
+        for e in raw_edges {
+            if e.u >= k {
+                return Err(CoreError::CoordinateOutOfRange {
+                    coord: e.u,
+                    dim_size: k,
+                });
+            }
+            if let Vtx::Value(v) = e.v {
+                if v >= k {
+                    return Err(CoreError::CoordinateOutOfRange {
+                        coord: v,
+                        dim_size: k,
+                    });
+                }
+            }
+            if !seen.insert((e.u, e.v)) {
+                return Err(CoreError::InvalidEdge {
+                    reason: "duplicate edge",
+                });
+            }
+            let idx = edges.len();
+            match e.v {
+                Vtx::Value(v) => {
+                    adj[e.u].push((v, idx));
+                    adj[v].push((e.u, idx));
+                }
+                Vtx::Bottom => {
+                    adj[e.u].push((k, idx));
+                    bottom_adj.push((e.u, idx));
+                }
+            }
+            edges.push(e);
+        }
+        Ok(PolicyGraph {
+            domain,
+            edges,
+            adj,
+            bottom_adj,
+            name: name.into(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Builders for the policy families of the paper.
+    // ------------------------------------------------------------------
+
+    /// The line graph `G¹_k` (Section 3): consecutive values of a totally
+    /// ordered domain are connected. No ⊥ (a bounded-style policy).
+    pub fn line(k: usize) -> Result<Self, CoreError> {
+        PolicyGraph::theta_line(k, 1)
+    }
+
+    /// The 1-D distance-threshold graph `G^θ_k` (Section 5.1): values at
+    /// distance ≤ θ are connected. Edges are emitted sorted by
+    /// `(left endpoint, right endpoint)`.
+    pub fn theta_line(k: usize, theta: usize) -> Result<Self, CoreError> {
+        if theta == 0 {
+            return Err(CoreError::InvalidTheta { theta });
+        }
+        let domain = Domain::one_dim(k);
+        let mut edges = Vec::new();
+        for u in 0..k {
+            for v in (u + 1)..k.min(u + theta + 1) {
+                edges.push(PolicyEdge::new(Vtx::Value(u), Vtx::Value(v))?);
+            }
+        }
+        PolicyGraph::from_edges(domain, edges, format!("G^{theta}_{k}"))
+    }
+
+    /// The d-dimensional distance-threshold graph `G^θ_{k^d}` (Section 5.1):
+    /// vertices are the cells of `domain` and `(u, v) ∈ E` iff the L1
+    /// distance between their coordinates is at most θ. For `d = 2` this is
+    /// the paper's grid policy (geo-indistinguishability, Section 3).
+    pub fn distance_threshold(domain: Domain, theta: usize) -> Result<Self, CoreError> {
+        if theta == 0 {
+            return Err(CoreError::InvalidTheta { theta });
+        }
+        let d = domain.num_dims();
+        // Enumerate canonical nonzero offsets with |δ|₁ ≤ θ whose first
+        // nonzero coordinate is positive, so each unordered pair appears
+        // exactly once.
+        let mut offsets: Vec<Vec<isize>> = Vec::new();
+        let mut cur = vec![0isize; d];
+        enumerate_offsets(&mut offsets, &mut cur, 0, theta as isize);
+        let mut edges = Vec::new();
+        for u in domain.iter() {
+            let cu = domain.coords(u)?;
+            'offsets: for off in &offsets {
+                let mut cv = Vec::with_capacity(d);
+                for (i, &c) in cu.iter().enumerate() {
+                    let nc = c as isize + off[i];
+                    if nc < 0 || nc as usize >= domain.dim(i) {
+                        continue 'offsets;
+                    }
+                    cv.push(nc as usize);
+                }
+                let v = domain.flat_index(&cv)?;
+                edges.push(PolicyEdge::new(Vtx::Value(u), Vtx::Value(v))?);
+            }
+        }
+        let name = format!("G^{theta}_{{k^{d}}}");
+        PolicyGraph::from_edges(domain, edges, name)
+    }
+
+    /// The complete graph over `T` — bounded differential privacy
+    /// (Section 3: `E = {(u, v) | ∀u, v ∈ T}`).
+    pub fn complete(k: usize) -> Result<Self, CoreError> {
+        let domain = Domain::one_dim(k);
+        let mut edges = Vec::with_capacity(k * (k - 1) / 2);
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push(PolicyEdge::new(Vtx::Value(u), Vtx::Value(v))?);
+            }
+        }
+        PolicyGraph::from_edges(domain, edges, format!("K_{k}"))
+    }
+
+    /// The star over ⊥ — unbounded differential privacy (Section 3:
+    /// `E = {(u, ⊥) | ∀u ∈ T}`).
+    pub fn star(k: usize) -> Result<Self, CoreError> {
+        let domain = Domain::one_dim(k);
+        let edges = (0..k)
+            .map(|u| PolicyEdge::new(Vtx::Value(u), Vtx::Bottom))
+            .collect::<Result<Vec<_>, _>>()?;
+        PolicyGraph::from_edges(domain, edges, format!("Star_{k}"))
+    }
+
+    /// The cycle on `k` vertices — the canonical graph with *no* isometric
+    /// L1 embedding, witnessing the Theorem 4.4 negative result.
+    pub fn cycle(k: usize) -> Result<Self, CoreError> {
+        if k < 3 {
+            return Err(CoreError::InvalidEdge {
+                reason: "cycle needs at least 3 vertices",
+            });
+        }
+        let domain = Domain::one_dim(k);
+        let mut edges = Vec::with_capacity(k);
+        for u in 0..k - 1 {
+            edges.push(PolicyEdge::new(Vtx::Value(u), Vtx::Value(u + 1))?);
+        }
+        edges.push(PolicyEdge::new(Vtx::Value(k - 1), Vtx::Value(0))?);
+        PolicyGraph::from_edges(domain, edges, format!("C_{k}"))
+    }
+
+    /// The sensitive-attribute policy of Appendix E: over a product domain,
+    /// `(u, v) ∈ E` iff `u` and `v` differ in exactly one attribute and that
+    /// attribute is in `sensitive_dims`. Typically disconnected.
+    pub fn sensitive_attributes(
+        domain: Domain,
+        sensitive_dims: &[usize],
+    ) -> Result<Self, CoreError> {
+        for &d in sensitive_dims {
+            if d >= domain.num_dims() {
+                return Err(CoreError::DimensionMismatch {
+                    expected: domain.num_dims(),
+                    got: d,
+                });
+            }
+        }
+        let mut edges = Vec::new();
+        for u in domain.iter() {
+            let cu = domain.coords(u)?;
+            for &d in sensitive_dims {
+                // Connect to every larger value of the sensitive attribute,
+                // all other attributes fixed.
+                for w in (cu[d] + 1)..domain.dim(d) {
+                    let mut cv = cu.clone();
+                    cv[d] = w;
+                    let v = domain.flat_index(&cv)?;
+                    edges.push(PolicyEdge::new(Vtx::Value(u), Vtx::Value(v))?);
+                }
+            }
+        }
+        PolicyGraph::from_edges(domain, edges, "SensitiveAttrs")
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// The domain `T`.
+    #[inline]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// `|T|` (excluding ⊥).
+    #[inline]
+    pub fn num_values(&self) -> usize {
+        self.domain.size()
+    }
+
+    /// The edges in construction order.
+    #[inline]
+    pub fn edges(&self) -> &[PolicyEdge] {
+        &self.edges
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Human-readable policy name (e.g. `G^1_1024`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether any edge touches ⊥.
+    pub fn has_bottom(&self) -> bool {
+        !self.bottom_adj.is_empty()
+    }
+
+    /// Degree of a value vertex (counting a ⊥-edge if present).
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Neighbors of value vertex `u` as `(neighbor, edge index)` pairs,
+    /// where `neighbor == num_values()` encodes ⊥.
+    pub fn neighbors(&self, u: usize) -> &[(usize, usize)] {
+        &self.adj[u]
+    }
+
+    /// The `(value vertex, edge index)` pairs adjacent to ⊥.
+    pub fn bottom_neighbors(&self) -> &[(usize, usize)] {
+        &self.bottom_adj
+    }
+
+    // ------------------------------------------------------------------
+    // Graph algorithms.
+    // ------------------------------------------------------------------
+
+    /// BFS distances from value vertex `start` to every vertex; ⊥ is the
+    /// last slot. Unreachable vertices map to `usize::MAX`.
+    pub fn bfs_distances(&self, start: usize) -> Vec<usize> {
+        let k = self.num_values();
+        let mut dist = vec![usize::MAX; k + 1];
+        let mut q = VecDeque::new();
+        dist[start] = 0;
+        q.push_back(start);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u];
+            let nexts: Vec<usize> = if u == k {
+                self.bottom_adj.iter().map(|&(v, _)| v).collect()
+            } else {
+                self.adj[u].iter().map(|&(v, _)| v).collect()
+            };
+            for v in nexts {
+                if dist[v] == usize::MAX {
+                    dist[v] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Shortest-path distance `dist_G(u, v)` between two value vertices —
+    /// the policy metric of Section 3 (Equation 1). `None` if disconnected.
+    pub fn distance(&self, u: usize, v: usize) -> Option<usize> {
+        let d = self.bfs_distances(u)[v];
+        (d != usize::MAX).then_some(d)
+    }
+
+    /// Connected components over value vertices, where ⊥ (if present)
+    /// participates in connectivity. Each component is a sorted list of
+    /// value-vertex ids.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let k = self.num_values();
+        let mut comp = vec![usize::MAX; k + 1];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for s in 0..=k {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            // Skip an isolated ⊥ slot when no ⊥-edges exist.
+            if s == k && self.bottom_adj.is_empty() {
+                continue;
+            }
+            let c = out.len();
+            let mut members = Vec::new();
+            let mut q = VecDeque::new();
+            comp[s] = c;
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                if u < k {
+                    members.push(u);
+                }
+                let nexts: Vec<usize> = if u == k {
+                    self.bottom_adj.iter().map(|&(v, _)| v).collect()
+                } else {
+                    self.adj[u].iter().map(|&(v, _)| v).collect()
+                };
+                for v in nexts {
+                    if comp[v] == usize::MAX {
+                        comp[v] = c;
+                        q.push_back(v);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// Whether the graph (including ⊥ when present) is connected.
+    pub fn is_connected(&self) -> bool {
+        self.components().len() <= 1
+    }
+
+    /// Whether the graph is a tree over its vertex set (connected and
+    /// `|E| = |V| − 1`, counting ⊥ as a vertex iff it has edges).
+    pub fn is_tree(&self) -> bool {
+        let nv = self.num_values() + usize::from(self.has_bottom());
+        self.is_connected() && self.num_edges() + 1 == nv
+    }
+
+    /// The maximum multiplicative increase of `G`-distances when routed
+    /// through `other` (same vertex set): `max_{(u,v) ∈ E(G)}
+    /// dist_other(u, v)`. This is the `ℓ` of the subgraph-approximation
+    /// Lemma 4.5. Returns `None` when some edge of `G` is disconnected in
+    /// `other`.
+    pub fn stretch_through(&self, other: &PolicyGraph) -> Option<usize> {
+        let mut worst = 0usize;
+        // Cache BFS runs from repeated sources.
+        let mut cache: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for e in &self.edges {
+            let d = match e.v {
+                Vtx::Value(v) => {
+                    let dists = cache
+                        .entry(e.u)
+                        .or_insert_with(|| other.bfs_distances(e.u));
+                    dists[v]
+                }
+                Vtx::Bottom => {
+                    let dists = cache
+                        .entry(e.u)
+                        .or_insert_with(|| other.bfs_distances(e.u));
+                    dists[other.num_values()]
+                }
+            };
+            if d == usize::MAX {
+                return None;
+            }
+            worst = worst.max(d);
+        }
+        Some(worst)
+    }
+}
+
+/// Recursive enumeration of canonical offsets for
+/// [`PolicyGraph::distance_threshold`]: fills `out` with all vectors of L1
+/// norm in `1..=budget` whose first nonzero coordinate is positive.
+fn enumerate_offsets(out: &mut Vec<Vec<isize>>, cur: &mut Vec<isize>, dim: usize, budget: isize) {
+    if dim == cur.len() {
+        if cur.iter().any(|&c| c != 0) {
+            // Canonical: first nonzero coordinate positive.
+            let first = cur.iter().find(|&&c| c != 0).copied().unwrap_or(0);
+            if first > 0 {
+                out.push(cur.clone());
+            }
+        }
+        return;
+    }
+    for v in -budget..=budget {
+        cur[dim] = v;
+        enumerate_offsets(out, cur, dim + 1, budget - v.abs());
+        cur[dim] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_graph_structure() {
+        let g = PolicyGraph::line(5).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.has_bottom());
+        assert!(g.is_connected());
+        assert!(g.is_tree());
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.distance(0, 4), Some(4));
+    }
+
+    #[test]
+    fn theta_line_edges() {
+        let g = PolicyGraph::theta_line(6, 2).unwrap();
+        // Each vertex connects to the next two: (k-1) + (k-2) edges.
+        assert_eq!(g.num_edges(), 5 + 4);
+        assert_eq!(g.distance(0, 5), Some(3)); // 0->2->4->5
+        assert!(!g.is_tree());
+        assert!(PolicyGraph::theta_line(5, 0).is_err());
+    }
+
+    #[test]
+    fn grid_distance_threshold() {
+        let d = Domain::square(3);
+        let g = PolicyGraph::distance_threshold(d, 1).unwrap();
+        // 3x3 grid, θ=1: 2·3·2 = 12 edges.
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_connected());
+        assert!(!g.is_tree());
+
+        let d = Domain::square(3);
+        let g2 = PolicyGraph::distance_threshold(d, 2).unwrap();
+        // θ=2 adds diagonal (1,1)-offset pairs and distance-2 straight pairs.
+        assert!(g2.num_edges() > 12);
+        // Every θ=1 edge must exist in θ=2.
+        for e in g.edges() {
+            assert!(g2.edges().contains(e));
+        }
+    }
+
+    #[test]
+    fn grid_edges_match_l1_distance() {
+        let d = Domain::square(4);
+        let theta = 2;
+        let g = PolicyGraph::distance_threshold(d.clone(), theta).unwrap();
+        // Check the edge set against the definition pair-by-pair.
+        let mut expected = 0;
+        for u in 0..d.size() {
+            for v in (u + 1)..d.size() {
+                if d.l1_distance(u, v).unwrap() <= theta {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expected);
+    }
+
+    #[test]
+    fn complete_and_star() {
+        let kg = PolicyGraph::complete(5).unwrap();
+        assert_eq!(kg.num_edges(), 10);
+        assert!(!kg.has_bottom());
+        assert_eq!(kg.distance(0, 4), Some(1));
+
+        let s = PolicyGraph::star(5).unwrap();
+        assert_eq!(s.num_edges(), 5);
+        assert!(s.has_bottom());
+        assert!(s.is_tree());
+        // Values are connected only through ⊥.
+        assert_eq!(s.distance(0, 4), Some(2));
+    }
+
+    #[test]
+    fn cycle_graph() {
+        let c = PolicyGraph::cycle(6).unwrap();
+        assert_eq!(c.num_edges(), 6);
+        assert!(!c.is_tree());
+        assert_eq!(c.distance(0, 3), Some(3));
+        assert_eq!(c.distance(0, 5), Some(1));
+        assert!(PolicyGraph::cycle(2).is_err());
+    }
+
+    #[test]
+    fn sensitive_attributes_components() {
+        // 2 non-sensitive x 3 sensitive values: edges only along dim 1.
+        let d = Domain::product(&[2, 3]).unwrap();
+        let g = PolicyGraph::sensitive_attributes(d, &[1]).unwrap();
+        // Per row: complete graph on 3 => 3 edges; 2 rows.
+        assert_eq!(g.num_edges(), 6);
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4, 5]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn bottom_participates_in_connectivity() {
+        // Two values, each tied to ⊥ but not to each other: connected via ⊥.
+        let d = Domain::one_dim(2);
+        let edges = vec![
+            PolicyEdge::new(Vtx::Value(0), Vtx::Bottom).unwrap(),
+            PolicyEdge::new(Vtx::Value(1), Vtx::Bottom).unwrap(),
+        ];
+        let g = PolicyGraph::from_edges(d, edges, "test").unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.distance(0, 1), Some(2));
+    }
+
+    #[test]
+    fn edge_canonicalization_and_validation() {
+        let e = PolicyEdge::new(Vtx::Value(3), Vtx::Value(1)).unwrap();
+        assert_eq!(e.u, 1);
+        assert_eq!(e.v, Vtx::Value(3));
+        assert!(PolicyEdge::new(Vtx::Value(1), Vtx::Value(1)).is_err());
+        assert!(PolicyEdge::new(Vtx::Bottom, Vtx::Bottom).is_err());
+        let b = PolicyEdge::new(Vtx::Bottom, Vtx::Value(2)).unwrap();
+        assert!(b.touches_bottom());
+        assert_eq!(b.u, 2);
+    }
+
+    #[test]
+    fn from_edges_rejects_bad_input() {
+        let d = Domain::one_dim(3);
+        let dup = vec![
+            PolicyEdge::new(Vtx::Value(0), Vtx::Value(1)).unwrap(),
+            PolicyEdge::new(Vtx::Value(1), Vtx::Value(0)).unwrap(),
+        ];
+        assert!(PolicyGraph::from_edges(d.clone(), dup, "dup").is_err());
+        let oob = vec![PolicyEdge::new(Vtx::Value(0), Vtx::Value(7)).unwrap()];
+        assert!(PolicyGraph::from_edges(d, oob, "oob").is_err());
+    }
+
+    #[test]
+    fn stretch_through_spanner() {
+        // G = cycle on 6; G' = path (cycle minus edge (5,0)).
+        let g = PolicyGraph::cycle(6).unwrap();
+        let d = Domain::one_dim(6);
+        let path_edges = (0..5)
+            .map(|u| PolicyEdge::new(Vtx::Value(u), Vtx::Value(u + 1)).unwrap())
+            .collect();
+        let path = PolicyGraph::from_edges(d, path_edges, "path").unwrap();
+        // Edge (5,0) is distance 5 in the path — the cycle's worst case.
+        assert_eq!(g.stretch_through(&path), Some(5));
+        // And the path embeds in the cycle with stretch 1.
+        assert_eq!(path.stretch_through(&g), Some(1));
+    }
+
+    #[test]
+    fn stretch_disconnected_is_none() {
+        let g = PolicyGraph::line(4).unwrap();
+        let d = Domain::one_dim(4);
+        let sparse =
+            PolicyGraph::from_edges(d, vec![PolicyEdge::new(Vtx::Value(0), Vtx::Value(1)).unwrap()], "partial")
+                .unwrap();
+        assert_eq!(g.stretch_through(&sparse), None);
+    }
+
+    #[test]
+    fn distance_threshold_1d_matches_theta_line() {
+        let a = PolicyGraph::theta_line(8, 3).unwrap();
+        let b = PolicyGraph::distance_threshold(Domain::one_dim(8), 3).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for e in a.edges() {
+            assert!(b.edges().contains(e));
+        }
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert_eq!(PolicyGraph::line(7).unwrap().name(), "G^1_7");
+        assert_eq!(PolicyGraph::complete(4).unwrap().name(), "K_4");
+        assert_eq!(PolicyGraph::star(4).unwrap().name(), "Star_4");
+    }
+}

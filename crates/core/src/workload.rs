@@ -1,0 +1,518 @@
+//! Query workloads.
+//!
+//! A workload (Section 2) is a set of linear queries, i.e. a `q × k` matrix
+//! `W`. This module provides the workloads the paper studies — the identity
+//! `I_k`, the cumulative histogram `C_k` (Figure 1), the 1-D and
+//! d-dimensional range workloads `R_k` / `R_{k^d}` (Section 5.1), one-way
+//! marginals — plus random-range samplers for the Section 6 experiments and
+//! closed-form Gram matrices `WᵀW` used by the Appendix-A lower bounds.
+
+use rand::Rng;
+
+use blowfish_linalg::{Matrix, SparseMatrix, TripletBuilder};
+
+use crate::domain::Domain;
+use crate::query::LinearQuery;
+use crate::CoreError;
+
+/// A multidimensional range query given by inclusive corner coordinates
+/// (`lo ≤ hi` per dimension) — the hypercube `q(l, r)` of Section 5.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// Bottom-left corner (inclusive).
+    pub lo: Vec<usize>,
+    /// Top-right corner (inclusive).
+    pub hi: Vec<usize>,
+}
+
+impl RangeQuery {
+    /// Creates a range, validating `lo ≤ hi` within `domain`.
+    pub fn new(domain: &Domain, lo: Vec<usize>, hi: Vec<usize>) -> Result<Self, CoreError> {
+        if lo.len() != domain.num_dims() || hi.len() != domain.num_dims() {
+            return Err(CoreError::DimensionMismatch {
+                expected: domain.num_dims(),
+                got: lo.len().max(hi.len()),
+            });
+        }
+        for d in 0..domain.num_dims() {
+            if lo[d] > hi[d] || hi[d] >= domain.dim(d) {
+                return Err(CoreError::InvalidRange {
+                    l: lo[d],
+                    r: hi[d],
+                    arity: domain.dim(d),
+                });
+            }
+        }
+        Ok(RangeQuery { lo, hi })
+    }
+
+    /// 1-D convenience constructor.
+    pub fn one_dim(domain: &Domain, l: usize, r: usize) -> Result<Self, CoreError> {
+        RangeQuery::new(domain, vec![l], vec![r])
+    }
+
+    /// Number of cells covered.
+    pub fn volume(&self) -> usize {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&l, &h)| h - l + 1)
+            .product()
+    }
+
+    /// Materializes the covered flat indices (row-major order).
+    pub fn cells(&self, domain: &Domain) -> Result<Vec<usize>, CoreError> {
+        let d = domain.num_dims();
+        let mut out = Vec::with_capacity(self.volume());
+        let mut cur = self.lo.clone();
+        loop {
+            out.push(domain.flat_index(&cur)?);
+            // Odometer increment over the box.
+            let mut dim = d;
+            loop {
+                if dim == 0 {
+                    return Ok(out);
+                }
+                dim -= 1;
+                if cur[dim] < self.hi[dim] {
+                    cur[dim] += 1;
+                    break;
+                }
+                cur[dim] = self.lo[dim];
+            }
+        }
+    }
+
+    /// Converts to a sparse [`LinearQuery`] over the flat domain.
+    pub fn to_linear_query(&self, domain: &Domain) -> Result<LinearQuery, CoreError> {
+        LinearQuery::counting(domain.size(), &self.cells(domain)?)
+    }
+}
+
+/// A workload of linear queries over a shared domain size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    arity: usize,
+    queries: Vec<LinearQuery>,
+}
+
+impl Workload {
+    /// Wraps queries, checking they share the arity.
+    pub fn new(arity: usize, queries: Vec<LinearQuery>) -> Result<Self, CoreError> {
+        if queries.iter().any(|q| q.arity() != arity) {
+            return Err(CoreError::QueryIndexOutOfRange { arity });
+        }
+        Ok(Workload { arity, queries })
+    }
+
+    /// The identity workload `I_k` (one point query per cell; the histogram
+    /// task of Section 6).
+    pub fn identity(k: usize) -> Self {
+        let queries = (0..k)
+            .map(|i| LinearQuery::point(k, i).expect("index in range"))
+            .collect();
+        Workload { arity: k, queries }
+    }
+
+    /// The cumulative-histogram workload `C_k` (Figure 1): query `i` is the
+    /// prefix sum `Σ_{j ≤ i} x[j]`.
+    pub fn cumulative(k: usize) -> Self {
+        let queries = (0..k)
+            .map(|i| LinearQuery::prefix(k, i).expect("index in range"))
+            .collect();
+        Workload { arity: k, queries }
+    }
+
+    /// All `k(k+1)/2` one-dimensional range queries `R_k`.
+    pub fn all_ranges_1d(k: usize) -> Self {
+        let mut queries = Vec::with_capacity(k * (k + 1) / 2);
+        for l in 0..k {
+            for r in l..k {
+                queries.push(LinearQuery::range(k, l, r).expect("valid range"));
+            }
+        }
+        Workload { arity: k, queries }
+    }
+
+    /// All d-dimensional range queries `R_{k^d}` over `domain`. Beware: the
+    /// count is `Π_d k_d(k_d+1)/2`; use only on small domains (as the
+    /// Figure-10 lower bounds do).
+    pub fn all_ranges(domain: &Domain) -> Result<Self, CoreError> {
+        let specs = all_range_specs(domain);
+        let queries = specs
+            .iter()
+            .map(|s| s.to_linear_query(domain))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Workload {
+            arity: domain.size(),
+            queries,
+        })
+    }
+
+    /// `count` uniformly random range queries over `domain` (the Section-6
+    /// experimental workloads use 10,000 of these).
+    pub fn random_ranges<R: Rng + ?Sized>(
+        domain: &Domain,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<(Self, Vec<RangeQuery>), CoreError> {
+        let specs = random_range_specs(domain, count, rng);
+        let queries = specs
+            .iter()
+            .map(|s| s.to_linear_query(domain))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((
+            Workload {
+                arity: domain.size(),
+                queries,
+            },
+            specs,
+        ))
+    }
+
+    /// One-way marginals: for each dimension `d` and value `v`, the count of
+    /// records with coordinate `d` equal to `v`.
+    pub fn one_way_marginals(domain: &Domain) -> Result<Self, CoreError> {
+        let k = domain.size();
+        let mut queries = Vec::new();
+        for d in 0..domain.num_dims() {
+            for v in 0..domain.dim(d) {
+                let cells: Vec<usize> = domain
+                    .iter()
+                    .filter(|&i| domain.coords(i).expect("valid index")[d] == v)
+                    .collect();
+                queries.push(LinearQuery::counting(k, &cells)?);
+            }
+        }
+        Ok(Workload { arity: k, queries })
+    }
+
+    /// The total-count query `n = Σ x[i]` as a single-query workload.
+    pub fn total(k: usize) -> Self {
+        let q = LinearQuery::counting(k, &(0..k).collect::<Vec<_>>()).expect("indices in range");
+        Workload {
+            arity: k,
+            queries: vec![q],
+        }
+    }
+
+    /// Domain size the queries are defined over.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of queries `q`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The queries.
+    #[inline]
+    pub fn queries(&self) -> &[LinearQuery] {
+        &self.queries
+    }
+
+    /// Query `i`.
+    #[inline]
+    pub fn query(&self, i: usize) -> &LinearQuery {
+        &self.queries[i]
+    }
+
+    /// Evaluates every query against `x`.
+    pub fn answer(&self, x: &[f64]) -> Result<Vec<f64>, CoreError> {
+        self.queries.iter().map(|q| q.answer(x)).collect()
+    }
+
+    /// Densifies into a `q × k` matrix.
+    pub fn to_dense_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.queries.len(), self.arity);
+        for (i, q) in self.queries.iter().enumerate() {
+            for &(j, v) in q.entries() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Converts into a CSR sparse matrix.
+    pub fn to_sparse_matrix(&self) -> SparseMatrix {
+        let mut b = TripletBuilder::new(self.queries.len(), self.arity);
+        for (i, q) in self.queries.iter().enumerate() {
+            for &(j, v) in q.entries() {
+                b.push(i, j, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Appends the all-zero column required when a policy graph contains ⊥
+    /// (Definition 3.1 discussion: "we add a zero column vector 0 into the
+    /// workload W to correspond to the dummy value ⊥").
+    pub fn with_zero_column(&self) -> Workload {
+        let arity = self.arity + 1;
+        let queries = self
+            .queries
+            .iter()
+            .map(|q| {
+                LinearQuery::new(arity, q.entries().to_vec()).expect("indices still in range")
+            })
+            .collect();
+        Workload { arity, queries }
+    }
+}
+
+/// Enumerates all range specs over `domain`.
+pub fn all_range_specs(domain: &Domain) -> Vec<RangeQuery> {
+    let d = domain.num_dims();
+    // Per-dimension list of (lo, hi) pairs; the workload is their product.
+    let per_dim: Vec<Vec<(usize, usize)>> = (0..d)
+        .map(|dim| {
+            let k = domain.dim(dim);
+            let mut v = Vec::with_capacity(k * (k + 1) / 2);
+            for l in 0..k {
+                for r in l..k {
+                    v.push((l, r));
+                }
+            }
+            v
+        })
+        .collect();
+    let total: usize = per_dim.iter().map(Vec::len).product();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; d];
+    loop {
+        let lo: Vec<usize> = (0..d).map(|dim| per_dim[dim][idx[dim]].0).collect();
+        let hi: Vec<usize> = (0..d).map(|dim| per_dim[dim][idx[dim]].1).collect();
+        out.push(RangeQuery { lo, hi });
+        // Odometer over per-dimension choices.
+        let mut dim = d;
+        loop {
+            if dim == 0 {
+                return out;
+            }
+            dim -= 1;
+            idx[dim] += 1;
+            if idx[dim] < per_dim[dim].len() {
+                break;
+            }
+            idx[dim] = 0;
+        }
+    }
+}
+
+/// Samples `count` uniformly random ranges over `domain`: each endpoint pair
+/// is drawn uniformly from the valid `(l ≤ r)` pairs per dimension.
+pub fn random_range_specs<R: Rng + ?Sized>(
+    domain: &Domain,
+    count: usize,
+    rng: &mut R,
+) -> Vec<RangeQuery> {
+    let d = domain.num_dims();
+    (0..count)
+        .map(|_| {
+            let mut lo = Vec::with_capacity(d);
+            let mut hi = Vec::with_capacity(d);
+            for dim in 0..d {
+                let k = domain.dim(dim);
+                let a = rng.gen_range(0..k);
+                let b = rng.gen_range(0..k);
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+            RangeQuery { lo, hi }
+        })
+        .collect()
+}
+
+/// Closed-form Gram matrix `WᵀW` of the full 1-D range workload `R_k`:
+/// entry `(i, j)` counts the ranges containing both `i` and `j`, which is
+/// `(min(i,j) + 1) · (k − max(i,j))`.
+pub fn range_gram_1d(k: usize) -> Matrix {
+    let mut g = Matrix::zeros(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            let lo = i.min(j);
+            let hi = i.max(j);
+            g[(i, j)] = ((lo + 1) * (k - hi)) as f64;
+        }
+    }
+    g
+}
+
+/// Closed-form Gram matrix of the full d-dimensional range workload
+/// `R_{k^d}`: ranges are products of per-dimension intervals, so the Gram
+/// entry for flat cells `u, v` is the product of the 1-D formulas per
+/// dimension. Returns a `|T| × |T|` dense matrix — use on small domains.
+pub fn range_gram(domain: &Domain) -> Result<Matrix, CoreError> {
+    let n = domain.size();
+    let mut g = Matrix::zeros(n, n);
+    for u in 0..n {
+        let cu = domain.coords(u)?;
+        for v in 0..n {
+            let cv = domain.coords(v)?;
+            let mut prod = 1.0;
+            for d in 0..domain.num_dims() {
+                let k = domain.dim(d);
+                let lo = cu[d].min(cv[d]);
+                let hi = cu[d].max(cv[d]);
+                prod *= ((lo + 1) * (k - hi)) as f64;
+            }
+            g[(u, v)] = prod;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_and_cumulative_shapes() {
+        let i4 = Workload::identity(4);
+        assert_eq!(i4.len(), 4);
+        assert!(i4.to_dense_matrix().approx_eq(&Matrix::identity(4), 0.0));
+
+        let c4 = Workload::cumulative(4);
+        let m = c4.to_dense_matrix();
+        // Lower-triangular ones (Figure 1).
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if j <= i { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn all_ranges_1d_count_and_answers() {
+        let k = 5;
+        let w = Workload::all_ranges_1d(k);
+        assert_eq!(w.len(), k * (k + 1) / 2);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ans = w.answer(&x).unwrap();
+        // First query is [0,0], last is [4,4].
+        assert_eq!(ans[0], 1.0);
+        assert_eq!(*ans.last().unwrap(), 5.0);
+        // The full range appears with answer 15.
+        assert!(ans.contains(&15.0));
+    }
+
+    #[test]
+    fn all_ranges_2d_count() {
+        let d = Domain::square(3);
+        let w = Workload::all_ranges(&d).unwrap();
+        // (3·4/2)² = 36 ranges.
+        assert_eq!(w.len(), 36);
+        let x = vec![1.0; 9];
+        let ans = w.answer(&x).unwrap();
+        assert!(ans.contains(&9.0)); // full box
+    }
+
+    #[test]
+    fn range_query_cells_row_major() {
+        let d = Domain::square(4);
+        let r = RangeQuery::new(&d, vec![1, 1], vec![2, 2]).unwrap();
+        assert_eq!(r.volume(), 4);
+        assert_eq!(r.cells(&d).unwrap(), vec![5, 6, 9, 10]);
+        let q = r.to_linear_query(&d).unwrap();
+        assert!(q.is_counting());
+        assert_eq!(q.nnz(), 4);
+    }
+
+    #[test]
+    fn range_query_validation() {
+        let d = Domain::square(3);
+        assert!(RangeQuery::new(&d, vec![2, 0], vec![1, 1]).is_err());
+        assert!(RangeQuery::new(&d, vec![0, 0], vec![0, 3]).is_err());
+        assert!(RangeQuery::new(&d, vec![0], vec![1]).is_err());
+    }
+
+    #[test]
+    fn random_ranges_valid_and_seeded() {
+        let d = Domain::square(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (w, specs) = Workload::random_ranges(&d, 50, &mut rng).unwrap();
+        assert_eq!(w.len(), 50);
+        assert_eq!(specs.len(), 50);
+        for s in &specs {
+            assert!(s.lo[0] <= s.hi[0] && s.hi[0] < 10);
+            assert!(s.lo[1] <= s.hi[1] && s.hi[1] < 10);
+        }
+        // Determinism.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let (_, specs2) = Workload::random_ranges(&d, 50, &mut rng2).unwrap();
+        assert_eq!(specs, specs2);
+    }
+
+    #[test]
+    fn marginals() {
+        let d = Domain::square(3);
+        let w = Workload::one_way_marginals(&d).unwrap();
+        assert_eq!(w.len(), 6); // 3 rows + 3 columns
+        let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let ans = w.answer(&x).unwrap();
+        // Row sums: 0+1+2, 3+4+5, 6+7+8.
+        assert_eq!(&ans[0..3], &[3.0, 12.0, 21.0]);
+        // Column sums: 0+3+6, 1+4+7, 2+5+8.
+        assert_eq!(&ans[3..6], &[9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn gram_closed_form_matches_explicit_1d() {
+        let k = 6;
+        let w = Workload::all_ranges_1d(k);
+        let explicit = w.to_dense_matrix().gram();
+        let closed = range_gram_1d(k);
+        assert!(closed.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn gram_closed_form_matches_explicit_2d() {
+        let d = Domain::square(3);
+        let w = Workload::all_ranges(&d).unwrap();
+        let explicit = w.to_dense_matrix().gram();
+        let closed = range_gram(&d).unwrap();
+        assert!(closed.approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn with_zero_column_extends_arity() {
+        let w = Workload::identity(3).with_zero_column();
+        assert_eq!(w.arity(), 4);
+        let m = w.to_dense_matrix();
+        assert_eq!(m.shape(), (3, 4));
+        for i in 0..3 {
+            assert_eq!(m[(i, 3)], 0.0);
+        }
+    }
+
+    #[test]
+    fn total_workload() {
+        let w = Workload::total(4);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.answer(&[1.0, 2.0, 3.0, 4.0]).unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn sparse_dense_agree() {
+        let w = Workload::all_ranges_1d(4);
+        let dm = w.to_dense_matrix();
+        let sm = w.to_sparse_matrix();
+        assert!(sm.to_dense().approx_eq(&dm, 0.0));
+    }
+
+    #[test]
+    fn workload_arity_checked() {
+        let q = LinearQuery::point(3, 0).unwrap();
+        assert!(Workload::new(4, vec![q]).is_err());
+    }
+}

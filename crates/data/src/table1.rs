@@ -1,0 +1,287 @@
+//! The dataset registry mirroring Table 1 of the paper.
+
+use blowfish_core::DataVector;
+
+use crate::synthetic::{generate_1d, Shape, SyntheticSpec};
+use crate::twitter::twitter_grid;
+
+/// Identifiers for the Table 1 datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// US patent citation links by time (scale 2.8e7, 6.20% zeros).
+    A,
+    /// ACS personal income 2001–2011 (scale 2.0e7, 44.97% zeros).
+    B,
+    /// HepPH citation links by time (scale 3.5e5, 21.17% zeros).
+    C,
+    /// "Obama" search-term frequency 2004–2010 (scale 3.4e5, 51.03%).
+    D,
+    /// External connections per internal host (scale 2.6e4, 96.61%).
+    E,
+    /// Census "capital loss" attribute (scale 1.8e4, 97.08%).
+    F,
+    /// Personal medical expenses (scale 9.4e3, 74.80%).
+    G,
+    /// Geo-tweets on a 100×100 grid (scale 1.9e5, 84.93%).
+    T100,
+    /// Geo-tweets on a 50×50 grid (scale 1.9e5, 69.24%).
+    T50,
+    /// Geo-tweets on a 25×25 grid (scale 1.9e5, 43.20%).
+    T25,
+}
+
+impl DatasetId {
+    /// All one-dimensional datasets (A–G), in Table 1 order.
+    pub fn one_dimensional() -> [DatasetId; 7] {
+        [
+            DatasetId::A,
+            DatasetId::B,
+            DatasetId::C,
+            DatasetId::D,
+            DatasetId::E,
+            DatasetId::F,
+            DatasetId::G,
+        ]
+    }
+
+    /// All two-dimensional datasets, in Table 1 order.
+    pub fn two_dimensional() -> [DatasetId; 3] {
+        [DatasetId::T100, DatasetId::T50, DatasetId::T25]
+    }
+
+    /// Short name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::A => "A",
+            DatasetId::B => "B",
+            DatasetId::C => "C",
+            DatasetId::D => "D",
+            DatasetId::E => "E",
+            DatasetId::F => "F",
+            DatasetId::G => "G",
+            DatasetId::T100 => "twitter100",
+            DatasetId::T50 => "twitter50",
+            DatasetId::T25 => "twitter25",
+        }
+    }
+}
+
+/// The published Table 1 statistics for a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaperStats {
+    /// Dataset description from Table 1 (abridged).
+    pub description: &'static str,
+    /// Domain size (cells).
+    pub domain: usize,
+    /// Total records.
+    pub scale: f64,
+    /// Percentage of zero cells.
+    pub percent_zero: f64,
+}
+
+/// Table 1's published statistics.
+pub fn paper_stats(id: DatasetId) -> PaperStats {
+    match id {
+        DatasetId::A => PaperStats {
+            description: "New links by time, US patent citation network",
+            domain: 4096,
+            scale: 2.8e7,
+            percent_zero: 6.20,
+        },
+        DatasetId::B => PaperStats {
+            description: "Personal income, American community survey",
+            domain: 4096,
+            scale: 2.0e7,
+            percent_zero: 44.97,
+        },
+        DatasetId::C => PaperStats {
+            description: "New links by time, HepPH citation network",
+            domain: 4096,
+            scale: 3.5e5,
+            percent_zero: 21.17,
+        },
+        DatasetId::D => PaperStats {
+            description: "Frequency of search term \"Obama\" (2004-2010)",
+            domain: 4096,
+            scale: 3.4e5,
+            percent_zero: 51.03,
+        },
+        DatasetId::E => PaperStats {
+            description: "External connections per internal host (IP trace)",
+            domain: 4096,
+            scale: 2.6e4,
+            percent_zero: 96.61,
+        },
+        DatasetId::F => PaperStats {
+            description: "\"Capital loss\" attribute, Adult US Census",
+            domain: 4096,
+            scale: 1.8e4,
+            percent_zero: 97.08,
+        },
+        DatasetId::G => PaperStats {
+            description: "Personal medical expenses, home/hospice survey",
+            domain: 4096,
+            scale: 9.4e3,
+            percent_zero: 74.80,
+        },
+        DatasetId::T100 => PaperStats {
+            description: "Geo-tweet counts, 100x100 grid (western USA)",
+            domain: 100 * 100,
+            scale: 1.9e5,
+            percent_zero: 84.93,
+        },
+        DatasetId::T50 => PaperStats {
+            description: "Geo-tweet counts, 50x50 grid",
+            domain: 50 * 50,
+            scale: 1.9e5,
+            percent_zero: 69.24,
+        },
+        DatasetId::T25 => PaperStats {
+            description: "Geo-tweet counts, 25x25 grid",
+            domain: 25 * 25,
+            scale: 1.9e5,
+            percent_zero: 43.20,
+        },
+    }
+}
+
+/// Support size that realizes Table 1's zero percentage exactly.
+fn support_for(domain: usize, percent_zero: f64) -> usize {
+    let nz = (domain as f64 * (1.0 - percent_zero / 100.0)).round() as usize;
+    nz.clamp(1, domain)
+}
+
+/// Generates a dataset from its Table 1 recipe with an explicit seed.
+pub fn dataset_with_seed(id: DatasetId, seed: u64) -> DataVector {
+    let stats = paper_stats(id);
+    match id {
+        DatasetId::T100 => twitter_grid(100, seed),
+        DatasetId::T50 => twitter_grid(50, seed),
+        DatasetId::T25 => twitter_grid(25, seed),
+        _ => {
+            let (shape, contiguous) = match id {
+                DatasetId::A | DatasetId::C => (Shape::BurstySeries, false),
+                DatasetId::B | DatasetId::G => (Shape::LogNormal, false),
+                DatasetId::D => (Shape::Spiky, true),
+                DatasetId::E | DatasetId::F => (Shape::PowerLaw, false),
+                _ => unreachable!("2-D ids handled above"),
+            };
+            let spec = SyntheticSpec {
+                domain: stats.domain,
+                scale: stats.scale as u64,
+                support: support_for(stats.domain, stats.percent_zero),
+                shape,
+                contiguous_support: contiguous,
+            };
+            generate_1d(&spec, seed)
+        }
+    }
+}
+
+/// Generates a dataset with its canonical (per-dataset) seed — the form
+/// used by all experiment harnesses for reproducibility.
+pub fn dataset(id: DatasetId) -> DataVector {
+    let seed = match id {
+        DatasetId::A => 0xA,
+        DatasetId::B => 0xB,
+        DatasetId::C => 0xC,
+        DatasetId::D => 0xD,
+        DatasetId::E => 0xE,
+        DatasetId::F => 0xF,
+        DatasetId::G => 0x6,
+        DatasetId::T100 | DatasetId::T50 | DatasetId::T25 => 0x7EE7,
+    };
+    dataset_with_seed(id, seed)
+}
+
+/// One row of the regenerated Table 1: paper statistics next to the
+/// measured statistics of the synthetic stand-in.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Dataset id.
+    pub id: DatasetId,
+    /// Published statistics.
+    pub paper: PaperStats,
+    /// Measured scale of the generated dataset.
+    pub measured_scale: f64,
+    /// Measured zero percentage of the generated dataset.
+    pub measured_percent_zero: f64,
+}
+
+/// Regenerates every Table 1 row (generates all ten datasets).
+pub fn table1_rows() -> Vec<Table1Row> {
+    let mut ids: Vec<DatasetId> = DatasetId::one_dimensional().to_vec();
+    ids.extend(DatasetId::two_dimensional());
+    ids.into_iter()
+        .map(|id| {
+            let x = dataset(id);
+            Table1Row {
+                id,
+                paper: paper_stats(id),
+                measured_scale: x.total(),
+                measured_percent_zero: x.percent_zero(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dimensional_stats_match_exactly() {
+        for id in DatasetId::one_dimensional() {
+            let stats = paper_stats(id);
+            let x = dataset(id);
+            assert_eq!(x.len(), stats.domain);
+            assert_eq!(x.total(), stats.scale, "{id:?} scale");
+            assert!(
+                (x.percent_zero() - stats.percent_zero).abs() < 0.05,
+                "{id:?}: measured {}% vs paper {}%",
+                x.percent_zero(),
+                stats.percent_zero
+            );
+        }
+    }
+
+    #[test]
+    fn two_dimensional_stats_close() {
+        for id in DatasetId::two_dimensional() {
+            let stats = paper_stats(id);
+            let x = dataset(id);
+            assert_eq!(x.len(), stats.domain);
+            assert_eq!(x.total(), stats.scale, "{id:?} scale");
+            assert!(
+                (x.percent_zero() - stats.percent_zero).abs() < 8.0,
+                "{id:?}: measured {}% vs paper {}%",
+                x.percent_zero(),
+                stats.percent_zero
+            );
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(dataset(DatasetId::E), dataset(DatasetId::E));
+        assert_ne!(
+            dataset_with_seed(DatasetId::E, 1),
+            dataset_with_seed(DatasetId::E, 2)
+        );
+    }
+
+    #[test]
+    fn table_rows_cover_all_datasets() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert_eq!(r.measured_scale, r.paper.scale);
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DatasetId::A.name(), "A");
+        assert_eq!(DatasetId::T50.name(), "twitter50");
+    }
+}

@@ -1,0 +1,228 @@
+//! Dense Cholesky factorization for symmetric positive-definite systems.
+//!
+//! Used for the full-row-rank pseudoinverse path `A⁺ = Aᵀ(AAᵀ)⁻¹` and for
+//! small grounded-Laplacian solves where the conjugate-gradient route is
+//! unnecessary.
+
+use crate::dense::Matrix;
+use crate::LinalgError;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a pivot drops below
+    /// a tiny positive tolerance (the matrix is singular or indefinite).
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 1e-12 * (1.0 + a[(j, j)].abs()) {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        // Forward: L y = b
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut v = y[i];
+            for k in 0..i {
+                v -= row[k] * y[k];
+            }
+            y[i] = v / row[i];
+        }
+        // Backward: Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` column by column.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.l.rows();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, b.cols()),
+                got: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse `A⁻¹` (solve against the identity).
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_matrix(&Matrix::identity(self.l.rows()))
+    }
+
+    /// `det(A) = prod(L_ii)^2`.
+    pub fn determinant(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..self.l.rows() {
+            d *= self.l[(i, i)];
+        }
+        d * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B^T B + I for a random-ish B, guaranteed SPD.
+        Matrix::from_vec(
+            3,
+            3,
+            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.l();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        assert!(rec.approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = vec![1.0, -2.0, 3.0];
+        let x = ch.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (u, v) in ax.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = spd3();
+        let inv = Cholesky::factor(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(Cholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn determinant() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::factor(&a).unwrap();
+        assert!((ch.determinant() - 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matrix_identity_gives_inverse() {
+        let a = spd3();
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve_matrix(&Matrix::identity(3)).unwrap();
+        let prod = a.matmul(&x).unwrap();
+        assert!(prod.approx_eq(&Matrix::identity(3), 1e-10));
+    }
+
+    #[test]
+    fn grounded_laplacian_of_path_is_spd() {
+        // P P^T for the 4-vertex line policy with ⊥ attached at the right
+        // end: vertex degrees (1, 2, 2, 2), off-diagonal -1. SPD because the
+        // ⊥ edge grounds the Laplacian.
+        let grounded = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                1.0, -1.0, 0.0, 0.0, //
+                -1.0, 2.0, -1.0, 0.0, //
+                0.0, -1.0, 2.0, -1.0, //
+                0.0, 0.0, -1.0, 2.0,
+            ],
+        )
+        .unwrap();
+        assert!(Cholesky::factor(&grounded).is_ok());
+
+        // The ordinary (ungrounded) path Laplacian is singular and must be
+        // rejected.
+        let singular = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                1.0, -1.0, 0.0, 0.0, //
+                -1.0, 2.0, -1.0, 0.0, //
+                0.0, -1.0, 2.0, -1.0, //
+                0.0, 0.0, -1.0, 1.0,
+            ],
+        )
+        .unwrap();
+        assert!(Cholesky::factor(&singular).is_err());
+    }
+}

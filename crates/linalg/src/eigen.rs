@@ -1,0 +1,500 @@
+//! Symmetric eigensolvers.
+//!
+//! Two independent implementations:
+//!
+//! * [`eigh`] — Householder tridiagonalization followed by implicit-shift QL
+//!   iteration (the classic EISPACK `tred2`/`tql2` pair). O(n³) with a small
+//!   constant; the default.
+//! * [`jacobi_eigh`] — cyclic Jacobi rotations. Slower but conceptually
+//!   independent; the test-suite cross-checks the two against each other on
+//!   random symmetric matrices.
+//!
+//! Both return eigenvalues in ascending order together with an orthogonal
+//! matrix of column eigenvectors. The lower-bound machinery of Appendix A
+//! (Figure 10) consumes these to compute singular values of transformed
+//! workloads `W_G`.
+
+use crate::dense::Matrix;
+use crate::LinalgError;
+
+/// Eigen decomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Orthogonal matrix whose columns are the corresponding eigenvectors.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Reconstructs `V diag(λ) Vᵀ` (primarily for tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.values.len();
+        let mut vd = self.vectors.clone();
+        for i in 0..n {
+            for j in 0..n {
+                vd[(i, j)] *= self.values[j];
+            }
+        }
+        vd.matmul(&self.vectors.transpose()).expect("shapes agree")
+    }
+}
+
+/// Symmetric eigendecomposition via Householder tridiagonalization + QL.
+///
+/// The input must be square and (numerically) symmetric; symmetry is
+/// enforced by averaging `A` with `Aᵀ` before decomposition so tiny
+/// asymmetries from accumulated floating-point error are harmless.
+pub fn eigh(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen {
+            values: vec![],
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    // Symmetrize defensively.
+    let mut z = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            z[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+    let mut d = vec![0.0; n]; // diagonal
+    let mut e = vec![0.0; n]; // off-diagonal
+    tred2(&mut z, &mut d, &mut e);
+    tql2(&mut z, &mut d, &mut e)?;
+    // Sort ascending, permuting eigenvector columns alongside.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = z[(i, old_j)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form.
+///
+/// On exit `z` holds the accumulated orthogonal transformation, `d` the
+/// diagonal and `e` the sub-diagonal (with `e[0] = 0`). Port of the EISPACK
+/// `tred2` routine (as presented in Numerical Recipes).
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    z[(i, k)] /= scale;
+                    h += z[(i, k)] * z[(i, k)];
+                }
+                let mut f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                f = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g / h;
+                    f += e[j] * z[(i, j)];
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = z[(i, j)];
+                    let g = e[j] - hh * f;
+                    e[j] = g;
+                    for k in 0..=j {
+                        let delta = f * e[k] + g * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix,
+/// accumulating the eigenvectors into `z`. Port of EISPACK `tql2`.
+fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small off-diagonal element to split the matrix.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > 50 {
+                return Err(LinalgError::NoConvergence {
+                    what: "tql2 QL iteration",
+                    iterations: 50,
+                });
+            }
+            // Form implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r.abs() } else { -r.abs() };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    f = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
+                    z[(k, i)] = c * z[(k, i)] - s * f;
+                }
+            }
+            if r == 0.0 && m > l {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Symmetric eigendecomposition via the cyclic Jacobi method.
+///
+/// Independent of [`eigh`]; used as a cross-check and for callers who prefer
+/// the (more robust, slower) rotation method.
+pub fn jacobi_eigh(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    // Symmetrize defensively.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (m[(i, j)] + m[(j, i)]);
+            m[(i, j)] = avg;
+            m[(j, i)] = avg;
+        }
+    }
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for sweep in 0..=max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * (1.0 + m.max_abs()) {
+            break;
+        }
+        if sweep == max_sweeps {
+            return Err(LinalgError::NoConvergence {
+                what: "Jacobi eigenvalue sweeps",
+                iterations: max_sweeps,
+            });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, θ) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    Ok(SymmetricEigen { values, vectors })
+}
+
+/// Eigenvalues only, ascending (convenience wrapper over [`eigh`]).
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<f64>, LinalgError> {
+    Ok(eigh(a)?.values)
+}
+
+/// Symmetric positive-semidefinite square root `A^{1/2} = V diag(√λ) Vᵀ`.
+///
+/// Negative eigenvalues within `-tol` are clamped to zero; larger negative
+/// eigenvalues are an error (the matrix is not PSD).
+pub fn sqrt_psd(a: &Matrix, tol: f64) -> Result<Matrix, LinalgError> {
+    let eig = eigh(a)?;
+    let scale = eig
+        .values
+        .iter()
+        .fold(0.0_f64, |m, v| m.max(v.abs()))
+        .max(1.0);
+    let mut sqrt_vals = Vec::with_capacity(eig.values.len());
+    for &v in &eig.values {
+        if v < -tol * scale {
+            return Err(LinalgError::NotPositiveSemidefinite { eigenvalue: v });
+        }
+        sqrt_vals.push(v.max(0.0).sqrt());
+    }
+    let n = eig.values.len();
+    let mut vd = eig.vectors.clone();
+    for i in 0..n {
+        for j in 0..n {
+            vd[(i, j)] *= sqrt_vals[j];
+        }
+    }
+    vd.matmul(&eig.vectors.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_symmetric(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = rng.gen_range(-1.0..1.0);
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = eigh(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = eigh(&a).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_random() {
+        for seed in 0..5 {
+            let a = random_symmetric(12, seed);
+            let e = eigh(&a).unwrap();
+            assert!(
+                e.reconstruct().approx_eq(&a, 1e-9),
+                "reconstruction failed for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = random_symmetric(10, 42);
+        let e = eigh(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.approx_eq(&Matrix::identity(10), 1e-9));
+    }
+
+    #[test]
+    fn jacobi_matches_ql() {
+        for seed in 0..4 {
+            let a = random_symmetric(9, 100 + seed);
+            let e1 = eigh(&a).unwrap();
+            let e2 = jacobi_eigh(&a).unwrap();
+            for (v1, v2) in e1.values.iter().zip(&e2.values) {
+                assert!(
+                    (v1 - v2).abs() < 1e-8,
+                    "eigenvalue mismatch: {v1} vs {v2} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstruction() {
+        let a = random_symmetric(8, 7);
+        let e = jacobi_eigh(&a).unwrap();
+        assert!(e.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn path_laplacian_spectrum() {
+        // The path-graph Laplacian on n vertices has eigenvalues
+        // 4 sin²(πk / 2n) for k = 0..n-1 — a classic closed form.
+        let n = 6;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l[(i, i)] = if i == 0 || i == n - 1 { 1.0 } else { 2.0 };
+            if i + 1 < n {
+                l[(i, i + 1)] = -1.0;
+                l[(i + 1, i)] = -1.0;
+            }
+        }
+        let vals = eigenvalues(&l).unwrap();
+        for (k, v) in vals.iter().enumerate() {
+            let expected = 4.0 * (std::f64::consts::PI * k as f64 / (2.0 * n as f64)).sin().powi(2);
+            assert!(
+                (v - expected).abs() < 1e-9,
+                "eigenvalue {k}: got {v}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_psd_squares_back() {
+        let b = random_symmetric(6, 3);
+        let a = b.matmul(&b.transpose()).unwrap(); // PSD
+        let s = sqrt_psd(&a, 1e-9).unwrap();
+        assert!(s.matmul(&s).unwrap().approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn sqrt_psd_rejects_indefinite() {
+        let a = Matrix::from_diag(&[1.0, -1.0]);
+        assert!(sqrt_psd(&a, 1e-9).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(eigh(&Matrix::zeros(2, 3)).is_err());
+        assert!(jacobi_eigh(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = eigh(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        let a = Matrix::identity(5).scaled(2.0);
+        let e = eigh(&a).unwrap();
+        for v in &e.values {
+            assert!((v - 2.0).abs() < 1e-12);
+        }
+        assert!(e.reconstruct().approx_eq(&a, 1e-10));
+    }
+}

@@ -1,0 +1,395 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Policy-graph incidence matrices `P_G` and transformed workloads `W_G` are
+//! extremely sparse (two nonzeros per column for `P_G`, boundary-edge
+//! patterns for range queries), so the core crate stores them in CSR form
+//! and only densifies for the small lower-bound eigenproblems.
+
+use crate::dense::Matrix;
+use crate::LinalgError;
+
+/// A builder collecting `(row, col, value)` triplets before compression.
+#[derive(Clone, Debug, Default)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates a builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        TripletBuilder {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`. Duplicate coordinates are summed on
+    /// compression.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        if value != 0.0 {
+            self.entries.push((row, col, value));
+        }
+    }
+
+    /// Number of (uncompressed) entries collected so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses the triplets into a CSR matrix, summing duplicates.
+    pub fn build(mut self) -> SparseMatrix {
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+        let mut current_row = 0usize;
+        for (r, c, v) in self.entries {
+            while current_row < r {
+                indptr.push(indices.len());
+                current_row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (indices.last(), values.last_mut()) {
+                if indices.len() > *indptr.last().unwrap() && last_c == c {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while current_row < self.rows {
+            indptr.push(indices.len());
+            current_row += 1;
+        }
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+}
+
+/// A CSR sparse matrix of `f64` values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices of nonzeros, row by row.
+    indices: Vec<usize>,
+    /// Nonzero values aligned with `indices`.
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// An empty (all-zero) `rows x cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        TripletBuilder::new(rows, cols).build()
+    }
+
+    /// Sparse identity of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+        }
+        b.build()
+    }
+
+    /// Builds from per-row `(col, value)` lists.
+    pub fn from_row_lists(cols: usize, rows: &[Vec<(usize, f64)>]) -> Self {
+        let mut b = TripletBuilder::new(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, v) in row {
+                b.push(i, j, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over the `(col, value)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[i];
+        let hi = self.indptr[i + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Number of nonzeros in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Reads entry `(i, j)` (O(row nnz)).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.row(i)
+            .find(|&(c, _)| c == j)
+            .map_or(0.0, |(_, v)| v)
+    }
+
+    /// Sparse matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, 1),
+                got: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.rows];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, v) in self.row(i) {
+                acc += v * x[j];
+            }
+            *yi = acc;
+        }
+        Ok(y)
+    }
+
+    /// Transposed product `self^T * x`.
+    pub fn matvec_transpose(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, 1),
+                got: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, v) in self.row(i) {
+                y[j] += v * xi;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Transpose as a new CSR matrix.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut b = TripletBuilder::new(self.cols, self.rows);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                b.push(j, i, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Sparse-sparse product `self * other` (CSR x CSR -> CSR).
+    pub fn matmul(&self, other: &SparseMatrix) -> Result<SparseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, self.cols),
+                got: (other.rows, other.cols),
+            });
+        }
+        let mut b = TripletBuilder::new(self.rows, other.cols);
+        // Scratch accumulator per output row (sparse accumulation pattern).
+        let mut acc: Vec<f64> = vec![0.0; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            for (k, v) in self.row(i) {
+                for (j, w) in other.row(k) {
+                    if acc[j] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j] += v * w;
+                }
+            }
+            for &j in &touched {
+                if acc[j] != 0.0 {
+                    b.push(i, j, acc[j]);
+                }
+                acc[j] = 0.0;
+            }
+            touched.clear();
+        }
+        Ok(b.build())
+    }
+
+    /// Converts to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Builds a CSR matrix from a dense one, dropping exact zeros.
+    pub fn from_dense(m: &Matrix) -> SparseMatrix {
+        let mut b = TripletBuilder::new(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            for (j, &v) in m.row(i).iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Maximum column L1 norm (the unbounded-DP sensitivity of the matrix
+    /// viewed as a query workload).
+    pub fn max_col_l1(&self) -> f64 {
+        let mut norms = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                norms[j] += v.abs();
+            }
+        }
+        norms.into_iter().fold(0.0_f64, f64::max)
+    }
+
+    /// Per-column L1 norms.
+    pub fn col_l1_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                norms[j] += v.abs();
+            }
+        }
+        norms
+    }
+
+    /// Scales all values by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.values {
+            *v *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SparseMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        let mut b = TripletBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(2, 0, 3.0);
+        b.push(2, 1, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = small();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = TripletBuilder::new(1, 1);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.5);
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matvec_and_transpose() {
+        let m = small();
+        let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+        let yt = m.matvec_transpose(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(yt, vec![4.0, 4.0, 2.0]);
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        // (M^T)^T == M
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let m = small();
+        let p = m.matmul(&m.transpose()).unwrap();
+        let dense = m.to_dense();
+        let expected = dense.matmul(&dense.transpose()).unwrap();
+        assert!(p.to_dense().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = small();
+        let rt = SparseMatrix::from_dense(&m.to_dense());
+        assert_eq!(rt, m);
+    }
+
+    #[test]
+    fn identity_matvec() {
+        let i = SparseMatrix::identity(4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn col_norms() {
+        let m = small();
+        assert_eq!(m.col_l1_norms(), vec![4.0, 4.0, 2.0]);
+        assert_eq!(m.max_col_l1(), 4.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let m = small();
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.matvec_transpose(&[1.0]).is_err());
+        assert!(m.matmul(&SparseMatrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn scale() {
+        let mut m = small();
+        m.scale_mut(2.0);
+        assert_eq!(m.get(2, 1), 8.0);
+    }
+}

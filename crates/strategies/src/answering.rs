@@ -1,0 +1,149 @@
+//! Bulk range-query answering from histogram estimates.
+//!
+//! Every strategy in this crate ultimately produces a histogram estimate
+//! `x̂` over the original domain (for Blowfish strategies, `x̂ = P_G·x̃_G`
+//! plus the Case II reconstruction — see DESIGN.md §6: summing `x̂` over a
+//! box is *identical* to answering the transformed query `q_G` against the
+//! per-edge estimates, because interior edge noise telescopes away). These
+//! helpers turn `x̂` into O(1)-per-query range answers via prefix sums /
+//! summed-area tables, which is what makes the 10,000-query workloads of
+//! Section 6 cheap.
+
+use blowfish_core::{DataVector, RangeQuery};
+
+use crate::StrategyError;
+
+/// Answers 1-D range queries from a histogram estimate via prefix sums.
+pub fn answer_ranges_1d(estimate: &[f64], specs: &[RangeQuery]) -> Result<Vec<f64>, StrategyError> {
+    let mut prefix = Vec::with_capacity(estimate.len());
+    let mut acc = 0.0;
+    for &v in estimate {
+        acc += v;
+        prefix.push(acc);
+    }
+    let k = estimate.len();
+    let mut out = Vec::with_capacity(specs.len());
+    for s in specs {
+        if s.lo.len() != 1 || s.hi[0] >= k {
+            return Err(StrategyError::BadQuery {
+                what: "1-D range answering requires 1-D in-range specs",
+            });
+        }
+        out.push(DataVector::range_from_prefix(&prefix, s.lo[0], s.hi[0]));
+    }
+    Ok(out)
+}
+
+/// Answers 2-D range queries from a row-major histogram estimate over a
+/// `rows × cols` grid via a summed-area table.
+pub fn answer_ranges_2d(
+    estimate: &[f64],
+    rows: usize,
+    cols: usize,
+    specs: &[RangeQuery],
+) -> Result<Vec<f64>, StrategyError> {
+    if estimate.len() != rows * cols {
+        return Err(StrategyError::BadQuery {
+            what: "estimate length must equal rows*cols",
+        });
+    }
+    // Build the SAT.
+    let mut sat = vec![0.0; rows * cols];
+    for r in 0..rows {
+        let mut row_acc = 0.0;
+        for c in 0..cols {
+            row_acc += estimate[r * cols + c];
+            sat[r * cols + c] = row_acc + if r > 0 { sat[(r - 1) * cols + c] } else { 0.0 };
+        }
+    }
+    let mut out = Vec::with_capacity(specs.len());
+    for s in specs {
+        if s.lo.len() != 2 || s.hi[0] >= rows || s.hi[1] >= cols {
+            return Err(StrategyError::BadQuery {
+                what: "2-D range answering requires 2-D in-range specs",
+            });
+        }
+        out.push(DataVector::range_from_prefix_2d(
+            &sat,
+            cols,
+            (s.lo[0], s.lo[1]),
+            (s.hi[0], s.hi[1]),
+        ));
+    }
+    Ok(out)
+}
+
+/// True answers for 1-D range specs (convenience for experiments).
+pub fn true_ranges_1d(x: &DataVector, specs: &[RangeQuery]) -> Result<Vec<f64>, StrategyError> {
+    answer_ranges_1d(x.counts(), specs)
+}
+
+/// True answers for 2-D range specs.
+pub fn true_ranges_2d(x: &DataVector, specs: &[RangeQuery]) -> Result<Vec<f64>, StrategyError> {
+    let d = x.domain();
+    if d.num_dims() != 2 {
+        return Err(StrategyError::BadQuery {
+            what: "database is not two-dimensional",
+        });
+    }
+    answer_ranges_2d(x.counts(), d.dim(0), d.dim(1), specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blowfish_core::Domain;
+
+    #[test]
+    fn ranges_1d_match_direct_sums() {
+        let est = vec![1.0, 2.0, 3.0, 4.0];
+        let d = Domain::one_dim(4);
+        let specs = vec![
+            RangeQuery::one_dim(&d, 0, 3).unwrap(),
+            RangeQuery::one_dim(&d, 1, 2).unwrap(),
+            RangeQuery::one_dim(&d, 2, 2).unwrap(),
+        ];
+        let ans = answer_ranges_1d(&est, &specs).unwrap();
+        assert_eq!(ans, vec![10.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn ranges_2d_match_direct_sums() {
+        // 3x3: 0..8
+        let est: Vec<f64> = (0..9).map(|v| v as f64).collect();
+        let d = Domain::square(3);
+        let specs = vec![
+            RangeQuery::new(&d, vec![0, 0], vec![2, 2]).unwrap(),
+            RangeQuery::new(&d, vec![1, 1], vec![2, 2]).unwrap(),
+            RangeQuery::new(&d, vec![0, 1], vec![1, 1]).unwrap(),
+        ];
+        let ans = answer_ranges_2d(&est, 3, 3, &specs).unwrap();
+        assert_eq!(ans, vec![36.0, 24.0, 5.0]);
+    }
+
+    #[test]
+    fn true_answer_helpers() {
+        let x = DataVector::new(Domain::one_dim(3), vec![5.0, 0.0, 2.0]).unwrap();
+        let d = Domain::one_dim(3);
+        let specs = vec![RangeQuery::one_dim(&d, 0, 2).unwrap()];
+        assert_eq!(true_ranges_1d(&x, &specs).unwrap(), vec![7.0]);
+
+        let x2 = DataVector::new(Domain::square(2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let d2 = Domain::square(2);
+        let specs2 = vec![RangeQuery::new(&d2, vec![0, 0], vec![1, 1]).unwrap()];
+        assert_eq!(true_ranges_2d(&x2, &specs2).unwrap(), vec![10.0]);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let d2 = Domain::square(2);
+        let spec2d = RangeQuery::new(&d2, vec![0, 0], vec![1, 1]).unwrap();
+        assert!(answer_ranges_1d(&[1.0, 2.0], std::slice::from_ref(&spec2d)).is_err());
+        assert!(answer_ranges_2d(&[1.0; 3], 2, 2, std::slice::from_ref(&spec2d)).is_err());
+        let d1 = Domain::one_dim(5);
+        let spec1d = RangeQuery::one_dim(&d1, 0, 4).unwrap();
+        assert!(answer_ranges_2d(&[1.0; 4], 2, 2, std::slice::from_ref(&spec1d)).is_err());
+        // 1-D spec out of range for a shorter estimate.
+        assert!(answer_ranges_1d(&[1.0, 2.0], &[spec1d]).is_err());
+    }
+}

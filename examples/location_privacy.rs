@@ -1,0 +1,104 @@
+//! Location privacy on a city grid — the paper's geo-indistinguishability
+//! scenario (Sections 1 and 3).
+//!
+//! A 64×64 map holds check-in counts. The distance-threshold policy
+//! `G^θ_{k²}` says: locations within Manhattan distance θ must be
+//! indistinguishable (home vs the cafe next door), while distant locations
+//! (different neighborhoods) may be told apart. We release the map under
+//! `(ε, G¹)` and `(ε, G⁴)` Blowfish and under ε/2-DP, and answer
+//! neighborhood-level range queries.
+//!
+//! Run with: `cargo run --release --example location_privacy`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use blowfish_privacy::prelude::*;
+
+fn main() {
+    let k = 64;
+    // Synthetic city: three population centers on the grid.
+    let centers = [(16usize, 20usize, 900.0), (40, 44, 600.0), (50, 12, 300.0)];
+    let counts: Vec<f64> = (0..k * k)
+        .map(|i| {
+            let (r, c) = (i / k, i % k);
+            let mut v = 0.0;
+            for &(cr, cc, mass) in &centers {
+                let d2 = (r as f64 - cr as f64).powi(2) + (c as f64 - cc as f64).powi(2);
+                v += mass * (-d2 / 40.0).exp();
+            }
+            v.round()
+        })
+        .collect();
+    let x = DataVector::new(Domain::square(k), counts).expect("counts match grid");
+    println!(
+        "city map: {} check-ins over a {k}x{k} grid ({:.1}% empty cells)",
+        x.total(),
+        x.percent_zero()
+    );
+
+    let eps = Epsilon::new(0.5).expect("positive");
+    let trials = 10;
+
+    // Neighborhood queries: random 2-D ranges.
+    let domain = Domain::square(k);
+    let mut qrng = StdRng::seed_from_u64(17);
+    let (_, specs) = Workload::random_ranges(&domain, 300, &mut qrng).expect("valid domain");
+    let truth = true_ranges_2d(&x, &specs).expect("truth");
+
+    // (ε, G¹_{k²})-Blowfish: protect single-cell moves.
+    let mut rng = StdRng::seed_from_u64(1);
+    let g1 = measure_error(&truth, trials, |_| {
+        let est = grid_blowfish_histogram(&x, eps, &mut rng).expect("grid strategy");
+        Ok(answer_ranges_2d(&est, k, k, &specs).expect("answers"))
+    })
+    .expect("trials > 0");
+
+    // (ε, G⁴_{k²})-Blowfish: protect moves up to distance 4 (a few blocks).
+    let theta = ThetaGridStrategy::new(k, 4).expect("block divides k");
+    println!(
+        "G⁴ spanner: block side {}, certified stretch {}",
+        theta.block(),
+        theta.stretch()
+    );
+    let mut rng2 = StdRng::seed_from_u64(2);
+    let g4 = measure_error(&truth, trials, |_| {
+        let est = theta.histogram(&x, eps, &mut rng2).expect("theta strategy");
+        Ok(answer_ranges_2d(&est, k, k, &specs).expect("answers"))
+    })
+    .expect("trials > 0");
+
+    // ε/2-DP Privelet baseline.
+    let mut rng3 = StdRng::seed_from_u64(3);
+    let dp = measure_error(&truth, trials, |_| {
+        let est = dp_privelet_nd(&x, eps.half(), &mut rng3).expect("privelet");
+        Ok(answer_ranges_2d(&est, k, k, &specs).expect("answers"))
+    })
+    .expect("trials > 0");
+
+    println!("\nmean squared error per neighborhood query ({trials} trials):");
+    println!("  ε/2-DP Privelet (2-D):        {:>12.1}", dp.mean_mse);
+    println!("  (ε,G¹)-Blowfish grid:         {:>12.1}", g1.mean_mse);
+    println!("  (ε,G⁴)-Blowfish (θ-grid):     {:>12.1}", g4.mean_mse);
+    println!(
+        "\n(The θ-grid strategy pays d³·log³θ·ℓ² in constants — the paper's own\n\
+         discussion notes it only beats DP once d·logθ is small next to log k,\n\
+         i.e. on much larger maps than this {k}x{k} demo.)"
+    );
+
+    // The privacy semantics in one line (Equation 1): moving a user by
+    // Manhattan distance d changes output odds by at most e^{ε·⌈d/θ⌉}.
+    let policy = PolicyGraph::distance_threshold(Domain::square(8), 2).expect("small policy");
+    let a = Domain::square(8).flat_index(&[1, 1]).expect("in range");
+    let b = Domain::square(8).flat_index(&[1, 3]).expect("in range");
+    let c = Domain::square(8).flat_index(&[6, 6]).expect("in range");
+    println!(
+        "\npolicy metric (θ=2, 8x8 demo): dist(home, cafe-2-blocks) = {:?} hop(s);",
+        policy.distance(a, b)
+    );
+    println!(
+        "dist(home, other-side-of-town) = {:?} hops — coarser locations get",
+        policy.distance(a, c)
+    );
+    println!("proportionally weaker protection, exactly geo-indistinguishability.");
+}

@@ -1,0 +1,155 @@
+//! Property-based tests of the linear-algebra substrate on random inputs
+//! (the Figure-10 machinery rests on these primitives).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use blowfish_privacy::linalg::{
+    conjugate_gradient, eigh, is_pseudoinverse, jacobi_eigh, pseudoinverse, singular_values,
+    CgOptions, Cholesky, Lu, Matrix, SparseMatrix, TripletBuilder,
+};
+
+fn matrix_from(data: &[f64], n: usize, m: usize) -> Matrix {
+    Matrix::from_vec(n, m, data[..n * m].to_vec()).expect("length matches")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eigendecomposition reconstructs random symmetric matrices, and the
+    /// two independent solvers agree.
+    #[test]
+    fn eigh_reconstructs_and_matches_jacobi(data in vec(-3.0f64..3.0, 36)) {
+        let a = matrix_from(&data, 6, 6);
+        let sym = {
+            let mut s = Matrix::zeros(6, 6);
+            for i in 0..6 {
+                for j in 0..6 {
+                    s[(i, j)] = 0.5 * (a[(i, j)] + a[(j, i)]);
+                }
+            }
+            s
+        };
+        let e = eigh(&sym).unwrap();
+        prop_assert!(e.reconstruct().approx_eq(&sym, 1e-7));
+        let j = jacobi_eigh(&sym).unwrap();
+        for (x, y) in e.values.iter().zip(&j.values) {
+            prop_assert!((x - y).abs() < 1e-7, "{x} vs {y}");
+        }
+        // Eigenvalues ascend.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    /// The pseudoinverse satisfies the four Penrose conditions on random
+    /// rectangular matrices of every aspect ratio.
+    #[test]
+    fn pseudoinverse_penrose_conditions(
+        data in vec(-2.0f64..2.0, 48),
+        rows in 2usize..7,
+    ) {
+        let cols = 48 / 8; // 6 columns, rows 2..7
+        let a = matrix_from(&data, rows, cols);
+        let p = pseudoinverse(&a).unwrap();
+        prop_assert!(is_pseudoinverse(&a, &p, 1e-5));
+    }
+
+    /// Cholesky solves SPD systems built as `BᵀB + I`.
+    #[test]
+    fn cholesky_solves_spd(data in vec(-2.0f64..2.0, 36), rhs in vec(-5.0f64..5.0, 6)) {
+        let b = matrix_from(&data, 6, 6);
+        let mut spd = b.gram();
+        for i in 0..6 {
+            spd[(i, i)] += 1.0;
+        }
+        let ch = Cholesky::factor(&spd).unwrap();
+        let x = ch.solve(&rhs).unwrap();
+        let back = spd.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+        // Determinant is positive for SPD.
+        prop_assert!(ch.determinant() > 0.0);
+    }
+
+    /// LU solves any well-conditioned square system (diagonally dominated
+    /// by construction).
+    #[test]
+    fn lu_solves_dominant_systems(data in vec(-1.0f64..1.0, 25), rhs in vec(-5.0f64..5.0, 5)) {
+        let mut a = matrix_from(&data, 5, 5);
+        for i in 0..5 {
+            a[(i, i)] += 6.0; // strict diagonal dominance
+        }
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&rhs).unwrap();
+        let back = a.matvec(&x).unwrap();
+        for (u, v) in back.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    /// Singular values are invariant under transposition and dominate the
+    /// Frobenius norm decomposition: Σσ² = ‖A‖_F².
+    #[test]
+    fn singular_values_frobenius_identity(data in vec(-2.0f64..2.0, 24)) {
+        let a = matrix_from(&data, 4, 6);
+        let sv = singular_values(&a).unwrap();
+        let svt = singular_values(&a.transpose()).unwrap();
+        for (x, y) in sv.iter().zip(&svt) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+        let fro2: f64 = a.frobenius_norm().powi(2);
+        let sum_sq: f64 = sv.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sum_sq).abs() < 1e-6 * (1.0 + fro2));
+        // Descending order.
+        for w in sv.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    /// CG agrees with Cholesky on sparse SPD systems (grounded Laplacians
+    /// of random trees).
+    #[test]
+    fn cg_matches_cholesky_on_laplacians(
+        parents in vec(0usize..6, 7),
+        rhs in vec(-4.0f64..4.0, 8),
+    ) {
+        // Random tree on 8 vertices (vertex i+1 attaches to parents[i] % (i+1)),
+        // grounded at vertex 0.
+        let n = 8;
+        let mut b = TripletBuilder::new(n, n);
+        let mut deg = vec![0.0; n];
+        for (i, &praw) in parents.iter().enumerate() {
+            let child = i + 1;
+            let parent = praw % child;
+            b.push(child, parent, -1.0);
+            b.push(parent, child, -1.0);
+            deg[child] += 1.0;
+            deg[parent] += 1.0;
+        }
+        deg[0] += 1.0; // ⊥-edge grounds vertex 0
+        for (i, d) in deg.iter().enumerate() {
+            b.push(i, i, *d);
+        }
+        let l: SparseMatrix = b.build();
+        let cg = conjugate_gradient(&l, &rhs, CgOptions::default()).unwrap();
+        let ch = Cholesky::factor(&l.to_dense()).unwrap();
+        let direct = ch.solve(&rhs).unwrap();
+        for (u, v) in cg.x.iter().zip(&direct) {
+            prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
+        }
+    }
+
+    /// Sparse matmul agrees with dense matmul.
+    #[test]
+    fn sparse_dense_matmul_agree(a in vec(-2.0f64..2.0, 12), b in vec(-2.0f64..2.0, 12)) {
+        let ad = matrix_from(&a, 3, 4);
+        let bd = matrix_from(&b, 4, 3);
+        let asp = SparseMatrix::from_dense(&ad);
+        let bsp = SparseMatrix::from_dense(&bd);
+        let dense = ad.matmul(&bd).unwrap();
+        let sparse = asp.matmul(&bsp).unwrap().to_dense();
+        prop_assert!(sparse.approx_eq(&dense, 1e-9));
+    }
+}
