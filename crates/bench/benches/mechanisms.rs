@@ -8,8 +8,7 @@ use rand::SeedableRng;
 use blowfish_core::Epsilon;
 use blowfish_data::{dataset, DatasetId};
 use blowfish_mechanisms::{
-    dawa_histogram, hierarchical_histogram, laplace_histogram, privelet_histogram_1d,
-    DawaOptions,
+    dawa_histogram, hierarchical_histogram, laplace_histogram, privelet_histogram_1d, DawaOptions,
 };
 
 fn bench_mechanisms(c: &mut Criterion) {
@@ -32,9 +31,7 @@ fn bench_mechanisms(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("dawa", 4096), |b| {
         let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| {
-            dawa_histogram(x.counts(), eps, DawaOptions::default(), &mut rng).expect("dawa")
-        });
+        b.iter(|| dawa_histogram(x.counts(), eps, DawaOptions::default(), &mut rng).expect("dawa"));
     });
     group.finish();
 }

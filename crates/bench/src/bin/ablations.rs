@@ -42,7 +42,10 @@ fn main() {
     let queries = overrides.queries.unwrap_or(2_000);
     let eps = Epsilon::new(overrides.epsilon.unwrap_or(0.1)).expect("valid");
 
-    println!("# Ablations (ε={}, {trials} trials, {queries} queries)", eps.value());
+    println!(
+        "# Ablations (ε={}, {trials} trials, {queries} queries)",
+        eps.value()
+    );
 
     ablation_theta_inner(eps, trials, queries);
     ablation_spanner_choice(eps, trials, queries);

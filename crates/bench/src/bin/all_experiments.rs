@@ -14,10 +14,15 @@ fn main() {
         println!("\n================================================================");
         println!("== running {bin}");
         println!("================================================================");
-        let status = Command::new(std::env::current_exe().expect("self path")
-            .parent().expect("bin dir").join(bin))
-            .args(&args)
-            .status();
+        let status = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .parent()
+                .expect("bin dir")
+                .join(bin),
+        )
+        .args(&args)
+        .status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
@@ -26,7 +31,9 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("failed to launch {bin}: {e}");
-                eprintln!("(run the binaries individually via cargo run -p blowfish-bench --bin {bin})");
+                eprintln!(
+                    "(run the binaries individually via cargo run -p blowfish-bench --bin {bin})"
+                );
                 std::process::exit(1);
             }
         }

@@ -31,7 +31,10 @@ fn main() {
     let eps = Epsilon::new(overrides.epsilon.unwrap_or(1.0)).expect("valid");
 
     println!("# Figure 3 — data-independent error per query (measured, uniform data)");
-    println!("(ε={}, {trials} trials, {queries} random queries)\n", eps.value());
+    println!(
+        "(ε={}, {trials} trials, {queries} random queries)\n",
+        eps.value()
+    );
 
     // --- 1-D rows.
     println!("## R_k (1-D ranges)\n");
@@ -66,7 +69,13 @@ fn main() {
             let h = dp_privelet_1d(&x, eps, rng).expect("dp");
             answer_ranges_1d(&h, &specs).expect("answers")
         });
-        println!("| {k} | {} | {} | {} | {} |", sci(g1), sci(g4), sci(g16), sci(dp));
+        println!(
+            "| {k} | {} | {} | {} | {} |",
+            sci(g1),
+            sci(g4),
+            sci(g16),
+            sci(dp)
+        );
     }
 
     // --- 2-D rows.

@@ -53,7 +53,10 @@ fn run_panels(panel: &str, cfg: &Config) {
         print_panel("2D-Range", &cols, &rows);
     }
     if panel == "hist" || panel == "all" {
-        println!("\n## {}", panel_description("Hist (G¹_k, datasets A-G)", cfg));
+        println!(
+            "\n## {}",
+            panel_description("Hist (G¹_k, datasets A-G)", cfg)
+        );
         let rows = hist_panel(cfg);
         let cols: Vec<String> = ["A", "B", "C", "D", "E", "F", "G"]
             .iter()

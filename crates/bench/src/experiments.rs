@@ -52,8 +52,7 @@ impl Config {
 }
 
 /// A named histogram estimator: dataset in, estimate out.
-type Estimator<'a> =
-    Box<dyn FnMut(&DataVector, &mut StdRng) -> Vec<f64> + 'a>;
+type Estimator<'a> = Box<dyn FnMut(&DataVector, &mut StdRng) -> Vec<f64> + 'a>;
 
 fn run_cell(
     x: &DataVector,
@@ -273,8 +272,7 @@ pub fn range2d_panel(cfg: &Config) -> Vec<Measurement> {
         let k = x.domain().dim(0);
         let d = Domain::square(k);
         let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0x2D2D ^ k as u64);
-        let specs: Vec<RangeQuery> =
-            blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
+        let specs: Vec<RangeQuery> = blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
         let truth = true_ranges_2d(&x, &specs).expect("truth");
         let algorithms: Vec<(&str, Estimator)> = vec![
             (

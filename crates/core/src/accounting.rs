@@ -172,9 +172,7 @@ mod tests {
             .unwrap();
         assert!((ledger.spent() - 1.0).abs() < 1e-12);
         assert!(ledger.remaining() < 1e-12);
-        assert!(ledger
-            .charge("extra", Epsilon::new(0.1).unwrap())
-            .is_err());
+        assert!(ledger.charge("extra", Epsilon::new(0.1).unwrap()).is_err());
         assert_eq!(ledger.entries().len(), 2);
     }
 

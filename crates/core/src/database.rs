@@ -162,7 +162,8 @@ impl DataVector {
                 sat[r as usize * cols + c as usize]
             }
         };
-        at(r1 as isize, c1 as isize) - at(r0 as isize - 1, c1 as isize)
+        at(r1 as isize, c1 as isize)
+            - at(r0 as isize - 1, c1 as isize)
             - at(r1 as isize, c0 as isize - 1)
             + at(r0 as isize - 1, c0 as isize - 1)
     }

@@ -46,9 +46,7 @@ impl Domain {
         }
         let mut size = 1usize;
         for &k in dims {
-            size = size
-                .checked_mul(k)
-                .ok_or(CoreError::DomainTooLarge)?;
+            size = size.checked_mul(k).ok_or(CoreError::DomainTooLarge)?;
         }
         // Row-major: the last dimension varies fastest.
         let mut strides = vec![1; dims.len()];
@@ -100,7 +98,10 @@ impl Domain {
         let mut idx = 0usize;
         for ((&c, &k), &s) in coords.iter().zip(&self.dims).zip(&self.strides) {
             if c >= k {
-                return Err(CoreError::CoordinateOutOfRange { coord: c, dim_size: k });
+                return Err(CoreError::CoordinateOutOfRange {
+                    coord: c,
+                    dim_size: k,
+                });
             }
             idx += c * s;
         }
@@ -130,11 +131,7 @@ impl Domain {
     pub fn l1_distance(&self, a: usize, b: usize) -> Result<usize, CoreError> {
         let ca = self.coords(a)?;
         let cb = self.coords(b)?;
-        Ok(ca
-            .iter()
-            .zip(&cb)
-            .map(|(&x, &y)| x.abs_diff(y))
-            .sum())
+        Ok(ca.iter().zip(&cb).map(|(&x, &y)| x.abs_diff(y)).sum())
     }
 
     /// Iterates all flat indices.

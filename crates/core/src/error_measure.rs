@@ -115,9 +115,7 @@ mod tests {
     #[test]
     fn propagates_inner_error() {
         let truth = [1.0];
-        let res = measure_error(&truth, 2, |_| {
-            Err(CoreError::EmptyDomain)
-        });
+        let res = measure_error(&truth, 2, |_| Err(CoreError::EmptyDomain));
         assert!(res.is_err());
     }
 }

@@ -17,9 +17,7 @@
 //!   grounded through ⊥. Reconstruction uses the per-component totals,
 //!   which the policy itself deems disclosable (Appendix E discussion).
 
-use blowfish_linalg::{
-    conjugate_gradient, CgOptions, SparseMatrix, TripletBuilder,
-};
+use blowfish_linalg::{conjugate_gradient, CgOptions, SparseMatrix, TripletBuilder};
 
 use crate::database::DataVector;
 use crate::policy::{PolicyGraph, Vtx};
@@ -112,9 +110,9 @@ impl Grounding {
         replaced.sort_unstable();
         let mut row_of = vec![None; k];
         let mut orig_of_row = Vec::with_capacity(k - replaced.len());
-        for u in 0..k {
+        for (u, slot) in row_of.iter_mut().enumerate() {
             if replaced.binary_search(&u).is_err() {
-                row_of[u] = Some(orig_of_row.len());
+                *slot = Some(orig_of_row.len());
                 orig_of_row.push(u);
             }
         }
@@ -222,7 +220,9 @@ impl Incidence {
         for e in graph.edges() {
             let grounded = match e.v {
                 Vtx::Bottom => GroundedEdge {
-                    u_row: grounding.row_of(e.u).expect("⊥-edge endpoints are never replaced"),
+                    u_row: grounding
+                        .row_of(e.u)
+                        .expect("⊥-edge endpoints are never replaced"),
                     v_row: None,
                 },
                 Vtx::Value(v) => match (grounding.row_of(e.u), grounding.row_of(v)) {
@@ -321,13 +321,13 @@ impl Incidence {
         // Constants: coefficient of n_c is q[v*_c].
         let mut constants = Vec::new();
         let mut vstar_coeff = vec![0.0; self.grounding.num_components()];
-        for c in 0..self.grounding.num_components() {
+        for (c, vc) in vstar_coeff.iter_mut().enumerate() {
             if let Some(vstar) = self.grounding.replacement(c) {
                 let coeff = q.coeff(vstar);
                 if coeff != 0.0 {
                     constants.push((c, coeff));
                 }
-                vstar_coeff[c] = coeff;
+                *vc = coeff;
             }
         }
         // Reduced coefficients r[row] = q[orig] − q[v*_component(orig)].
@@ -418,6 +418,12 @@ impl Incidence {
                 data_len: reduced.len(),
             });
         }
+        if component_totals.len() != self.grounding.num_components() {
+            return Err(CoreError::DataShapeMismatch {
+                domain_size: self.grounding.num_components(),
+                data_len: component_totals.len(),
+            });
+        }
         let k = self.grounding.row_of.len();
         let mut x = vec![0.0; k];
         let mut remaining = component_totals.to_vec();
@@ -426,9 +432,9 @@ impl Incidence {
             x[orig] = v;
             remaining[self.grounding.component_of(orig)] -= v;
         }
-        for c in 0..self.grounding.num_components() {
+        for (c, &rem) in remaining.iter().enumerate() {
             if let Some(vstar) = self.grounding.replacement(c) {
-                x[vstar] = remaining[c];
+                x[vstar] = rem;
             }
         }
         Ok(x)
@@ -464,9 +470,7 @@ impl Incidence {
                 continue;
             }
             // Find this row's single unsolved edge.
-            let Some(&(j, _)) = self.incident[r].iter().find(|&&(j, _)| !edge_done[j]) else {
-                return None;
-            };
+            let &(j, _) = self.incident[r].iter().find(|&&(j, _)| !edge_done[j])?;
             order.push((r, j));
             edge_done[j] = true;
             row_done[r] = true;
@@ -545,8 +549,7 @@ impl Incidence {
             return Ok(sol);
         }
         let l = self.laplacian();
-        let y = conjugate_gradient(&l, reduced, CgOptions::default())
-            .map_err(CoreError::Linalg)?;
+        let y = conjugate_gradient(&l, reduced, CgOptions::default()).map_err(CoreError::Linalg)?;
         Ok(self.p.matvec_transpose(&y.x)?)
     }
 
@@ -740,9 +743,7 @@ mod tests {
         assert_eq!(t.constants, vec![(0, 1.0)]);
         // Check numerically on a database.
         let x = DataVector::new(Domain::one_dim(4), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
-        let x_g = inc
-            .solve_tree(&inc.reduce_database(&x).unwrap())
-            .unwrap();
+        let x_g = inc.solve_tree(&inc.reduce_database(&x).unwrap()).unwrap();
         let edge_ans = t.edge_query.answer(&x_g).unwrap();
         let totals = inc.component_totals(&x).unwrap();
         assert!((t.reconstruct(edge_ans, &totals) - 4.0).abs() < 1e-12);
@@ -784,11 +785,7 @@ mod tests {
         let k = 6;
         let g = PolicyGraph::theta_line(k, 3).unwrap();
         let inc = Incidence::new(&g).unwrap();
-        let x = DataVector::new(
-            Domain::one_dim(k),
-            vec![2.0, 7.0, 1.0, 8.0, 2.0, 8.0],
-        )
-        .unwrap();
+        let x = DataVector::new(Domain::one_dim(k), vec![2.0, 7.0, 1.0, 8.0, 2.0, 8.0]).unwrap();
         let reduced = inc.reduce_database(&x).unwrap();
         let x_g = inc.particular_solution(&reduced).unwrap();
         // P x_G = x′ exactly.
@@ -892,9 +889,7 @@ mod tests {
         assert!(inc.is_tree());
         // Now x_G should be suffix sums instead of prefix sums.
         let x = DataVector::new(Domain::one_dim(5), vec![1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
-        let x_g = inc
-            .solve_tree(&inc.reduce_database(&x).unwrap())
-            .unwrap();
+        let x_g = inc.solve_tree(&inc.reduce_database(&x).unwrap()).unwrap();
         // Edge (0,1) now carries -(x1+x2+x3+x4) = -(14): sign depends on
         // orientation (+1 at the lower id = the replaced side is ⊥).
         // Just verify P x_G = x′.

@@ -203,7 +203,10 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidTheta { theta } => write!(f, "invalid θ = {theta}"),
             CoreError::EmptyPolicy => write!(f, "policy graph has no edges"),
             CoreError::IsolatedVertex => {
-                write!(f, "policy graph has an isolated vertex (P_G would be rank-deficient)")
+                write!(
+                    f,
+                    "policy graph has an isolated vertex (P_G would be rank-deficient)"
+                )
             }
             CoreError::NotATree => write!(f, "operation requires a tree policy graph"),
             CoreError::NotConnectedToBottom => {

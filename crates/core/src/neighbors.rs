@@ -16,10 +16,7 @@ use crate::CoreError;
 ///   `v → u` (if `x[v] ≥ 1`);
 /// * for every edge `(u, ⊥)`: add one record at `u`, and remove one (if
 ///   `x[u] ≥ 1`).
-pub fn blowfish_neighbors(
-    x: &DataVector,
-    g: &PolicyGraph,
-) -> Result<Vec<DataVector>, CoreError> {
+pub fn blowfish_neighbors(x: &DataVector, g: &PolicyGraph) -> Result<Vec<DataVector>, CoreError> {
     if x.len() != g.num_values() {
         return Err(CoreError::DataShapeMismatch {
             domain_size: g.num_values(),
@@ -101,15 +98,11 @@ pub fn are_blowfish_neighbors(
     }
     match diffs.as_slice() {
         // One record added or removed at u: needs edge (u, ⊥).
-        [(u, d)] if d.abs() == 1.0 => Ok(g
-            .neighbors(*u)
-            .iter()
-            .any(|&(v, _)| v == g.num_values())),
+        [(u, d)] if d.abs() == 1.0 => Ok(g.neighbors(*u).iter().any(|&(v, _)| v == g.num_values())),
         // One record moved between u and v: needs edge (u, v).
-        [(u, du), (v, dv)] if *du == -*dv && du.abs() == 1.0 => Ok(g
-            .neighbors(*u)
-            .iter()
-            .any(|&(w, _)| w == *v)),
+        [(u, du), (v, dv)] if *du == -*dv && du.abs() == 1.0 => {
+            Ok(g.neighbors(*u).iter().any(|&(w, _)| w == *v))
+        }
         _ => Ok(false),
     }
 }

@@ -40,10 +40,9 @@ impl PolicyEdge {
             (Vtx::Bottom, Vtx::Bottom) => Err(CoreError::InvalidEdge {
                 reason: "both endpoints are ⊥",
             }),
-            (Vtx::Value(u), Vtx::Bottom) | (Vtx::Bottom, Vtx::Value(u)) => Ok(PolicyEdge {
-                u,
-                v: Vtx::Bottom,
-            }),
+            (Vtx::Value(u), Vtx::Bottom) | (Vtx::Bottom, Vtx::Value(u)) => {
+                Ok(PolicyEdge { u, v: Vtx::Bottom })
+            }
             (Vtx::Value(u), Vtx::Value(v)) => {
                 if u == v {
                     Err(CoreError::InvalidEdge {
@@ -423,15 +422,11 @@ impl PolicyGraph {
         for e in &self.edges {
             let d = match e.v {
                 Vtx::Value(v) => {
-                    let dists = cache
-                        .entry(e.u)
-                        .or_insert_with(|| other.bfs_distances(e.u));
+                    let dists = cache.entry(e.u).or_insert_with(|| other.bfs_distances(e.u));
                     dists[v]
                 }
                 Vtx::Bottom => {
-                    let dists = cache
-                        .entry(e.u)
-                        .or_insert_with(|| other.bfs_distances(e.u));
+                    let dists = cache.entry(e.u).or_insert_with(|| other.bfs_distances(e.u));
                     dists[other.num_values()]
                 }
             };
@@ -622,9 +617,12 @@ mod tests {
     fn stretch_disconnected_is_none() {
         let g = PolicyGraph::line(4).unwrap();
         let d = Domain::one_dim(4);
-        let sparse =
-            PolicyGraph::from_edges(d, vec![PolicyEdge::new(Vtx::Value(0), Vtx::Value(1)).unwrap()], "partial")
-                .unwrap();
+        let sparse = PolicyGraph::from_edges(
+            d,
+            vec![PolicyEdge::new(Vtx::Value(0), Vtx::Value(1)).unwrap()],
+            "partial",
+        )
+        .unwrap();
         assert_eq!(g.stretch_through(&sparse), None);
     }
 

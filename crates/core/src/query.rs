@@ -217,8 +217,8 @@ mod tests {
 
     #[test]
     fn contiguous_runs_split() {
-        let q = LinearQuery::new(10, vec![(0, 1.0), (1, 1.0), (5, -1.0), (6, -1.0), (8, 1.0)])
-            .unwrap();
+        let q =
+            LinearQuery::new(10, vec![(0, 1.0), (1, 1.0), (5, -1.0), (6, -1.0), (8, 1.0)]).unwrap();
         let runs = q.contiguous_runs();
         assert_eq!(runs.len(), 3);
         assert_eq!(runs[0], (0, 1, vec![1.0, 1.0]));

@@ -57,10 +57,7 @@ pub fn theta_line_spanner(k: usize, theta: usize) -> Result<ThetaLineSpanner, Co
         let start = edges.len();
         if i > 0 {
             // Red-path edge from the previous red vertex.
-            edges.push(PolicyEdge::new(
-                Vtx::Value(red(i - 1)),
-                Vtx::Value(red(i)),
-            )?);
+            edges.push(PolicyEdge::new(Vtx::Value(red(i - 1)), Vtx::Value(red(i)))?);
         }
         // Non-red vertices of this block attach to this red vertex.
         let block_lo = i * theta;
@@ -78,11 +75,7 @@ pub fn theta_line_spanner(k: usize, theta: usize) -> Result<ThetaLineSpanner, Co
         groups.push((start, edges.len()));
     }
     debug_assert_eq!(edges.len(), k - 1);
-    let graph = PolicyGraph::from_edges(
-        Domain::one_dim(k),
-        edges,
-        format!("H^{theta}_{k}"),
-    )?;
+    let graph = PolicyGraph::from_edges(Domain::one_dim(k), edges, format!("H^{theta}_{k}"))?;
     // Certify the stretch against G^θ_k (Lemma 4.5's hypothesis).
     let target = PolicyGraph::theta_line(k, theta)?;
     let stretch = target
@@ -241,11 +234,7 @@ pub fn bfs_spanning_tree(g: &PolicyGraph, root: usize) -> Result<PolicyGraph, Co
             }
         }
     }
-    PolicyGraph::from_edges(
-        g.domain().clone(),
-        edges,
-        format!("BFS-tree({})", g.name()),
-    )
+    PolicyGraph::from_edges(g.domain().clone(), edges, format!("BFS-tree({})", g.name()))
 }
 
 #[cfg(test)]

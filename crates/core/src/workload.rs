@@ -260,9 +260,7 @@ impl Workload {
         let queries = self
             .queries
             .iter()
-            .map(|q| {
-                LinearQuery::new(arity, q.entries().to_vec()).expect("indices still in range")
-            })
+            .map(|q| LinearQuery::new(arity, q.entries().to_vec()).expect("indices still in range"))
             .collect();
         Workload { arity, queries }
     }

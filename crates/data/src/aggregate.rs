@@ -75,11 +75,7 @@ mod tests {
 
     #[test]
     fn aggregate_2d_sums_blocks() {
-        let x = DataVector::new(
-            Domain::square(4),
-            (0..16).map(|v| v as f64).collect(),
-        )
-        .unwrap();
+        let x = DataVector::new(Domain::square(4), (0..16).map(|v| v as f64).collect()).unwrap();
         let a = aggregate_2d(&x, 2).unwrap();
         // Top-left block: 0+1+4+5 = 10; top-right: 2+3+6+7 = 18; etc.
         assert_eq!(a.counts(), &[10.0, 18.0, 42.0, 50.0]);

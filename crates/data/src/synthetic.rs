@@ -55,7 +55,10 @@ pub struct SyntheticSpec {
 /// deterministically from `seed`.
 pub fn generate_1d(spec: &SyntheticSpec, seed: u64) -> DataVector {
     assert!(spec.support >= 1 && spec.support <= spec.domain);
-    assert!(spec.scale as usize >= spec.support, "scale must cover the support");
+    assert!(
+        spec.scale as usize >= spec.support,
+        "scale must cover the support"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     // Choose the support cells.
@@ -94,7 +97,7 @@ pub fn generate_1d(spec: &SyntheticSpec, seed: u64) -> DataVector {
             let episodes = (spec.support / 40).max(2);
             for _ in 0..episodes {
                 let center = rng.gen_range(0..spec.support);
-                let width = rng.gen_range(3..25).min(spec.support);
+                let width = rng.gen_range(3usize..25).min(spec.support);
                 let height = rng.gen_range(50.0..400.0);
                 for off in 0..width {
                     if center + off < spec.support {
@@ -135,7 +138,11 @@ pub fn generate_1d(spec: &SyntheticSpec, seed: u64) -> DataVector {
     // Hand out the leftovers to the largest remainders.
     let mut leftover = (remaining - assigned) as usize;
     remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite remainders"));
-    for &(_, slot) in remainders.iter().cycle().take(leftover.min(remainders.len() * 2)) {
+    for &(_, slot) in remainders
+        .iter()
+        .cycle()
+        .take(leftover.min(remainders.len() * 2))
+    {
         if leftover == 0 {
             break;
         }

@@ -144,11 +144,7 @@ mod tests {
         let (t100, t50, t25) = twitter_all(1);
         // Paper: 84.93 / 69.24 / 43.20 — allow a tolerance band; the
         // qualitative requirement is "sparser at finer resolution".
-        let (z100, z50, z25) = (
-            t100.percent_zero(),
-            t50.percent_zero(),
-            t25.percent_zero(),
-        );
+        let (z100, z50, z25) = (t100.percent_zero(), t50.percent_zero(), t25.percent_zero());
         assert!(
             (z100 - 84.93).abs() < 8.0,
             "T100 zero% {z100} too far from 84.93"

@@ -59,7 +59,11 @@ pub fn conjugate_gradient(
             got: (b.len(), 1),
         });
     }
-    let max_iter = if opts.max_iter == 0 { 10 * n + 50 } else { opts.max_iter };
+    let max_iter = if opts.max_iter == 0 {
+        10 * n + 50
+    } else {
+        opts.max_iter
+    };
     let bnorm = dot(b, b).sqrt();
     if bnorm == 0.0 {
         return Ok(CgSolution {
@@ -70,12 +74,12 @@ pub fn conjugate_gradient(
     }
     // Jacobi preconditioner: M⁻¹ = diag(A)⁻¹.
     let mut diag_inv = vec![1.0; n];
-    for i in 0..n {
+    for (i, di) in diag_inv.iter_mut().enumerate() {
         let d = a.get(i, i);
         if d <= 0.0 {
             return Err(LinalgError::NotPositiveDefinite { pivot: i });
         }
-        diag_inv[i] = 1.0 / d;
+        *di = 1.0 / d;
     }
 
     let mut x = vec![0.0; n];

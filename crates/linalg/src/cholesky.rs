@@ -75,8 +75,8 @@ impl Cholesky {
         // Backward: Lᵀ x = y
         for i in (0..n).rev() {
             let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.l[(k, i)] * y[k];
+            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
+                v -= self.l[(k, i)] * yk;
             }
             y[i] = v / self.l[(i, i)];
         }
@@ -124,12 +124,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B^T B + I for a random-ish B, guaranteed SPD.
-        Matrix::from_vec(
-            3,
-            3,
-            vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0],
-        )
-        .unwrap()
+        Matrix::from_vec(3, 3, vec![5.0, 2.0, 1.0, 2.0, 6.0, 2.0, 1.0, 2.0, 4.0]).unwrap()
     }
 
     #[test]

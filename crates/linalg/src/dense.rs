@@ -62,7 +62,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Builds a diagonal matrix from `diag`.
@@ -368,7 +372,11 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -393,7 +401,8 @@ impl Neg for &Matrix {
 impl Mul for &Matrix {
     type Output = Matrix;
     fn mul(self, rhs: &Matrix) -> Matrix {
-        self.matmul(rhs).expect("matrix multiplication shape mismatch")
+        self.matmul(rhs)
+            .expect("matrix multiplication shape mismatch")
     }
 }
 

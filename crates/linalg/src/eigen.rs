@@ -454,7 +454,10 @@ mod tests {
         }
         let vals = eigenvalues(&l).unwrap();
         for (k, v) in vals.iter().enumerate() {
-            let expected = 4.0 * (std::f64::consts::PI * k as f64 / (2.0 * n as f64)).sin().powi(2);
+            let expected = 4.0
+                * (std::f64::consts::PI * k as f64 / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
             assert!(
                 (v - expected).abs() < 1e-9,
                 "eigenvalue {k}: got {v}, expected {expected}"

@@ -130,8 +130,8 @@ mod tests {
         // P_G for a 3-vertex line with ⊥ at the right (Figure 2 of the
         // paper): P = [[1,0,0],[-1,1,0],[0,-1,1]], whose inverse is the
         // prefix-sum matrix C_3.
-        let p = Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, -1.0, 1.0, 0.0, 0.0, -1.0, 1.0])
-            .unwrap();
+        let p =
+            Matrix::from_vec(3, 3, vec![1.0, 0.0, 0.0, -1.0, 1.0, 0.0, 0.0, -1.0, 1.0]).unwrap();
         let inv = Lu::factor(&p).unwrap().inverse().unwrap();
         let mut c3 = Matrix::zeros(3, 3);
         for i in 0..3 {

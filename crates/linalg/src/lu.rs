@@ -156,8 +156,14 @@ mod tests {
     fn inverse_roundtrip() {
         let a = Matrix::from_vec(3, 3, vec![1.0, 2.0, 3.0, 0.0, 1.0, 4.0, 5.0, 6.0, 0.0]).unwrap();
         let inv = Lu::factor(&a).unwrap().inverse().unwrap();
-        assert!(a.matmul(&inv).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
-        assert!(inv.matmul(&a).unwrap().approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(a
+            .matmul(&inv)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
+        assert!(inv
+            .matmul(&a)
+            .unwrap()
+            .approx_eq(&Matrix::identity(3), 1e-9));
     }
 
     #[test]

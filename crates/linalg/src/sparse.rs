@@ -156,9 +156,7 @@ impl SparseMatrix {
 
     /// Reads entry `(i, j)` (O(row nnz)).
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.row(i)
-            .find(|&(c, _)| c == j)
-            .map_or(0.0, |(_, v)| v)
+        self.row(i).find(|&(c, _)| c == j).map_or(0.0, |(_, v)| v)
     }
 
     /// Sparse matrix-vector product `self * x`.

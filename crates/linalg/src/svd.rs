@@ -98,10 +98,16 @@ fn pseudoinverse_via_eigen(a: &Matrix) -> Result<Matrix, LinalgError> {
 /// Checks the four Penrose conditions within `tol` (test helper, but public
 /// because downstream crates' tests reuse it).
 pub fn is_pseudoinverse(a: &Matrix, aplus: &Matrix, tol: f64) -> bool {
-    let Ok(ap) = a.matmul(aplus) else { return false };
-    let Ok(pa) = aplus.matmul(a) else { return false };
+    let Ok(ap) = a.matmul(aplus) else {
+        return false;
+    };
+    let Ok(pa) = aplus.matmul(a) else {
+        return false;
+    };
     let Ok(apa) = ap.matmul(a) else { return false };
-    let Ok(pap) = pa.matmul(aplus) else { return false };
+    let Ok(pap) = pa.matmul(aplus) else {
+        return false;
+    };
     apa.approx_eq(a, tol)
         && pap.approx_eq(aplus, tol)
         && ap.approx_eq(&ap.transpose(), tol)

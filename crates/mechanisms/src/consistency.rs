@@ -220,8 +220,7 @@ mod tests {
         let mut raw_err = 0.0;
         let mut iso_err = 0.0;
         for _ in 0..50 {
-            let noisy =
-                crate::laplace::laplace_histogram(&prefix, 1.0, eps, &mut rng).unwrap();
+            let noisy = crate::laplace::laplace_histogram(&prefix, 1.0, eps, &mut rng).unwrap();
             let iso = isotonic_non_decreasing(&noisy);
             raw_err += noisy
                 .iter()

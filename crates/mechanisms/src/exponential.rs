@@ -216,10 +216,7 @@ mod tests {
         }
         for (c, p) in counts.iter().zip(&probs) {
             let emp = *c as f64 / n as f64;
-            assert!(
-                (emp - p).abs() < 0.01,
-                "empirical {emp} vs analytic {p}"
-            );
+            assert!((emp - p).abs() < 0.01, "empirical {emp} vs analytic {p}");
         }
     }
 }

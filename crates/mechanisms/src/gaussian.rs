@@ -16,7 +16,11 @@ use crate::MechanismError;
 
 /// The Gaussian-mechanism noise scale `σ(ε, δ, Δ₂) = √(2 ln(1.25/δ))·Δ₂/ε`
 /// (Dwork–Roth Theorem A.1; requires ε ≤ 1 for the classic analysis).
-pub fn gaussian_sigma(l2_sensitivity: f64, eps: Epsilon, delta: Delta) -> Result<f64, MechanismError> {
+pub fn gaussian_sigma(
+    l2_sensitivity: f64,
+    eps: Epsilon,
+    delta: Delta,
+) -> Result<f64, MechanismError> {
     if l2_sensitivity <= 0.0 {
         return Err(MechanismError::InvalidParameter {
             what: "L2 sensitivity must be positive",
@@ -53,7 +57,11 @@ pub fn gaussian_histogram<R: Rng + ?Sized>(
 }
 
 /// Analytic per-entry variance of the Gaussian mechanism: `σ²`.
-pub fn gaussian_variance(l2_sensitivity: f64, eps: Epsilon, delta: Delta) -> Result<f64, MechanismError> {
+pub fn gaussian_variance(
+    l2_sensitivity: f64,
+    eps: Epsilon,
+    delta: Delta,
+) -> Result<f64, MechanismError> {
     let s = gaussian_sigma(l2_sensitivity, eps, delta)?;
     Ok(s * s)
 }

@@ -168,8 +168,7 @@ mod tests {
     fn error_order_monotone() {
         let eps = Epsilon::new(1.0).unwrap();
         assert!(
-            hierarchical_range_error_order(1024, eps)
-                > hierarchical_range_error_order(64, eps)
+            hierarchical_range_error_order(1024, eps) > hierarchical_range_error_order(64, eps)
         );
     }
 

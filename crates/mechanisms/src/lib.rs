@@ -47,9 +47,7 @@ pub use hierarchical::{hierarchical_histogram, hierarchical_range_error_order};
 pub use laplace::{
     laplace_histogram, laplace_per_query_error, laplace_total_error, laplace_workload,
 };
-pub use matrix::{
-    hierarchical_strategy, identity_strategy, wavelet_strategy, MatrixMechanism,
-};
+pub use matrix::{hierarchical_strategy, identity_strategy, wavelet_strategy, MatrixMechanism};
 pub use noise::{laplace, laplace_variance, laplace_vec, two_sided_geometric};
 pub use privelet::{
     haar_forward, haar_generalized_sensitivity, haar_inverse, haar_weights, privelet_histogram,

@@ -138,9 +138,7 @@ pub fn hierarchical_strategy(k: usize) -> Matrix {
         let mut start = 0;
         while start < padded {
             let mut row = vec![0.0; k];
-            for j in start..(start + size).min(k) {
-                row[j] = 1.0;
-            }
+            row[start.min(k)..(start + size).min(k)].fill(1.0);
             // Skip all-zero rows from padding.
             if row.iter().any(|&v| v != 0.0) {
                 rows.push(row);
@@ -169,12 +167,8 @@ pub fn wavelet_strategy(k: usize) -> Matrix {
         let mut start = 0;
         while start < padded {
             let mut row = vec![0.0; k];
-            for j in start..(start + half).min(k) {
-                row[j] = 1.0;
-            }
-            for j in (start + half)..(start + size).min(k) {
-                row[j] = -1.0;
-            }
+            row[start.min(k)..(start + half).min(k)].fill(1.0);
+            row[(start + half).min(k)..(start + size).min(k)].fill(-1.0);
             if row.iter().any(|&v| v != 0.0) {
                 rows.push(row);
             }

@@ -192,8 +192,7 @@ mod tests {
         let trials = 200;
         let mut mean = vec![0.0; k];
         for _ in 0..trials {
-            let est =
-                tree_blowfish_histogram_gaussian(&inc, &x, eps, delta, &mut rng).unwrap();
+            let est = tree_blowfish_histogram_gaussian(&inc, &x, eps, delta, &mut rng).unwrap();
             for (m, e) in mean.iter_mut().zip(&est) {
                 *m += e;
             }

@@ -45,12 +45,7 @@ pub fn dp_privelet_nd<R: Rng + ?Sized>(
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    Ok(privelet_histogram(
-        x.counts(),
-        x.domain().dims(),
-        eps,
-        rng,
-    )?)
+    Ok(privelet_histogram(x.counts(), x.domain().dims(), eps, rng)?)
 }
 
 /// ε-DP DAWA baseline over a 1-D domain.

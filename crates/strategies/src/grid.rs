@@ -122,9 +122,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn grid_db(k: usize, f: impl Fn(usize, usize) -> f64) -> DataVector {
-        let counts = (0..k * k)
-            .map(|i| f(i / k, i % k))
-            .collect::<Vec<f64>>();
+        let counts = (0..k * k).map(|i| f(i / k, i % k)).collect::<Vec<f64>>();
         DataVector::new(Domain::square(k), counts).unwrap()
     }
 
@@ -242,13 +240,9 @@ mod tests {
         let mut err_large = 0.0;
         for _ in 0..trials {
             let est = grid_blowfish_histogram(&x, eps, &mut rng).unwrap();
-            let ans = crate::answering::answer_ranges_2d(
-                &est,
-                k,
-                k,
-                &[small.clone(), large.clone()],
-            )
-            .unwrap();
+            let ans =
+                crate::answering::answer_ranges_2d(&est, k, k, &[small.clone(), large.clone()])
+                    .unwrap();
             err_small += ans[0] * ans[0];
             err_large += ans[1] * ans[1];
         }

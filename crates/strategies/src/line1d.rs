@@ -187,8 +187,7 @@ mod tests {
         let trials = 400;
         let mut mean = [0.0; 8];
         for _ in 0..trials {
-            let est =
-                line_blowfish_histogram(&x, eps, TreeEstimator::Laplace, &mut rng).unwrap();
+            let est = line_blowfish_histogram(&x, eps, TreeEstimator::Laplace, &mut rng).unwrap();
             // The reconstruction forces Σ x̂ = n exactly.
             assert!((est.iter().sum::<f64>() - x.total()).abs() < 1e-9);
             for (m, e) in mean.iter_mut().zip(&est) {
@@ -261,9 +260,8 @@ mod tests {
         let mut cons = 0.0;
         for _ in 0..trials {
             let a = line_blowfish_histogram(&x, eps, TreeEstimator::Laplace, &mut rng).unwrap();
-            let b =
-                line_blowfish_histogram(&x, eps, TreeEstimator::LaplaceConsistent, &mut rng)
-                    .unwrap();
+            let b = line_blowfish_histogram(&x, eps, TreeEstimator::LaplaceConsistent, &mut rng)
+                .unwrap();
             raw += blowfish_core::mse_per_query(
                 &truth,
                 &crate::answering::answer_ranges_1d(&a, &specs).unwrap(),
@@ -275,10 +273,7 @@ mod tests {
             )
             .unwrap();
         }
-        assert!(
-            cons < raw,
-            "consistency did not help: {cons} vs {raw}"
-        );
+        assert!(cons < raw, "consistency did not help: {cons} vs {raw}");
     }
 
     #[test]
@@ -324,14 +319,10 @@ mod tests {
         let inc = Incidence::new(&g).unwrap();
         let eps = Epsilon::new(1.0).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
-        assert!(tree_blowfish_histogram(
-            &inc,
-            &x,
-            eps,
-            TreeEstimator::LaplaceConsistent,
-            &mut rng
-        )
-        .is_err());
+        assert!(
+            tree_blowfish_histogram(&inc, &x, eps, TreeEstimator::LaplaceConsistent, &mut rng)
+                .is_err()
+        );
     }
 
     #[test]
@@ -362,13 +353,8 @@ mod tests {
             assert!((avg - x.get(i)).abs() < 1.5, "cell {i}: {avg}");
         }
         // Consistent variant also runs.
-        let est = line_blowfish_histogram(
-            &x,
-            eps,
-            TreeEstimator::HierarchicalConsistent,
-            &mut rng,
-        )
-        .unwrap();
+        let est = line_blowfish_histogram(&x, eps, TreeEstimator::HierarchicalConsistent, &mut rng)
+            .unwrap();
         assert_eq!(est.len(), 8);
     }
 

@@ -215,8 +215,7 @@ mod tests {
             d,
         )
         .unwrap();
-        let bounded = svd_lower_bound(&gram, &PolicyGraph::complete(k * k).unwrap(), e, d)
-            .unwrap();
+        let bounded = svd_lower_bound(&gram, &PolicyGraph::complete(k * k).unwrap(), e, d).unwrap();
         assert!(g1 > 0.0 && bounded > 0.0 && dp > 0.0);
         // The paper's observation: every θ beats *bounded* DP.
         assert!(

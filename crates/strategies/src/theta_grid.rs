@@ -162,8 +162,8 @@ impl ThetaGridStrategy {
                 blocks[(r / s) * m + (c / s)] += at(r, c);
             }
         }
-        let block_db = DataVector::new(Domain::square(m), blocks)
-            .expect("block histogram matches red domain");
+        let block_db =
+            DataVector::new(Domain::square(m), blocks).expect("block histogram matches red domain");
         let block_est = grid_blowfish_histogram(&block_db, eps_eff, rng)?;
 
         // --- Reconstruction: non-red cells take their internal-edge
@@ -347,8 +347,6 @@ mod tests {
     #[test]
     fn error_order_helper() {
         let eps = Epsilon::new(1.0).unwrap();
-        assert!(
-            theta_grid_error_order(100, 8, eps) > theta_grid_error_order(100, 2, eps)
-        );
+        assert!(theta_grid_error_order(100, 8, eps) > theta_grid_error_order(100, 2, eps));
     }
 }

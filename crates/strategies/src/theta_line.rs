@@ -15,9 +15,7 @@ use rand::Rng;
 
 use blowfish_core::spanner::{theta_line_spanner, ThetaLineSpanner};
 use blowfish_core::{DataVector, Epsilon, Incidence};
-use blowfish_mechanisms::{
-    dawa_histogram, laplace_histogram, privelet_histogram_1d, DawaOptions,
-};
+use blowfish_mechanisms::{dawa_histogram, laplace_histogram, privelet_histogram_1d, DawaOptions};
 
 use crate::StrategyError;
 
@@ -86,9 +84,7 @@ impl ThetaLineStrategy {
         let x_g = self.incidence.solve_tree(&reduced)?;
         let x_tilde = match estimator {
             ThetaEstimator::Laplace => laplace_histogram(&x_g, 1.0, eps_eff, rng)?,
-            ThetaEstimator::Dawa => {
-                dawa_histogram(&x_g, eps_eff, DawaOptions::default(), rng)?
-            }
+            ThetaEstimator::Dawa => dawa_histogram(&x_g, eps_eff, DawaOptions::default(), rng)?,
             ThetaEstimator::GroupPrivelet => {
                 // Disjoint groups → parallel composition: each group gets
                 // the full ε_eff.
@@ -137,7 +133,9 @@ mod tests {
 
     #[test]
     fn histogram_is_unbiased_for_all_estimators() {
-        let x = db(vec![4.0, 1.0, 0.0, 7.0, 2.0, 5.0, 3.0, 8.0, 0.0, 6.0, 1.0, 2.0]);
+        let x = db(vec![
+            4.0, 1.0, 0.0, 7.0, 2.0, 5.0, 3.0, 8.0, 0.0, 6.0, 1.0, 2.0,
+        ]);
         let strat = ThetaLineStrategy::new(12, 3).unwrap();
         let eps = Epsilon::new(2.0).unwrap();
         for (seed, est) in [
@@ -221,10 +219,7 @@ mod tests {
             let est = strat.histogram(&x, eps, est_kind, &mut rng).unwrap();
             let ans = crate::answering::answer_ranges_1d(&est, &specs).unwrap();
             for (a, t) in ans.iter().zip(&truth) {
-                assert!(
-                    (a - t).abs() < 0.1,
-                    "{est_kind:?}: answer {a} vs truth {t}"
-                );
+                assert!((a - t).abs() < 0.1, "{est_kind:?}: answer {a} vs truth {t}");
             }
         }
     }

@@ -36,7 +36,9 @@ fn main() {
 
     println!("\nReading: a tighter policy graph (smaller θ) means weaker adversary");
     println!("guarantees between distant values and therefore a lower achievable");
-    println!("error floor; the G¹ line policy buys ~{:.1}x over unbounded DP here.", dp
-        / svd_lower_bound(&gram, &PolicyGraph::line(k).expect("valid"), eps, delta)
-            .expect("bound"));
+    println!(
+        "error floor; the G¹ line policy buys ~{:.1}x over unbounded DP here.",
+        dp / svd_lower_bound(&gram, &PolicyGraph::line(k).expect("valid"), eps, delta)
+            .expect("bound")
+    );
 }

@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run --release --example policy_explorer`
 
-use blowfish_privacy::core::{
-    l1_sensitivity_unbounded, policy_sensitivity, theta_line_spanner,
-};
+use blowfish_privacy::core::{l1_sensitivity_unbounded, policy_sensitivity, theta_line_spanner};
 use blowfish_privacy::linalg::Lu;
 use blowfish_privacy::mechanisms::graph_distance_distribution;
 use blowfish_privacy::prelude::*;
@@ -33,7 +31,10 @@ fn main() {
                 .join(",")
         );
     }
-    let pinv = Lu::factor(&p).expect("tree P is square").inverse().expect("invertible");
+    let pinv = Lu::factor(&p)
+        .expect("tree P is square")
+        .inverse()
+        .expect("invertible");
     println!("P_G⁻¹ (the prefix-sum matrix C'_k):");
     for i in 0..pinv.rows() {
         println!(
@@ -76,7 +77,10 @@ fn main() {
     let w = Workload::all_ranges_1d(32);
     for (name, g) in [
         ("star (unbounded DP)", PolicyGraph::star(32).expect("valid")),
-        ("complete (bounded DP)", PolicyGraph::complete(32).expect("valid")),
+        (
+            "complete (bounded DP)",
+            PolicyGraph::complete(32).expect("valid"),
+        ),
         ("line G¹", PolicyGraph::line(32).expect("valid")),
         ("G⁴", PolicyGraph::theta_line(32, 4).expect("valid")),
     ] {
@@ -113,8 +117,10 @@ fn main() {
     );
     println!(
         "any path spanner of C_8 stretches some edge to length {}, so no tree",
-        cyc.stretch_through(&blowfish_privacy::core::bfs_spanning_tree(&cyc, 0).expect("connected"))
-            .expect("spanning")
+        cyc.stretch_through(
+            &blowfish_privacy::core::bfs_spanning_tree(&cyc, 0).expect("connected")
+        )
+        .expect("spanning")
     );
     println!("transformation preserves this mechanism's privacy — cycles have no");
     println!("isometric L1 embedding, which is exactly the paper's obstruction.");

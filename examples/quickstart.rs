@@ -30,9 +30,12 @@ fn main() {
     // line graph). Distant bins may be distinguished — that is the
     // privacy/utility dial Blowfish adds over plain DP.
     let policy = PolicyGraph::line(k).expect("k >= 2");
-    println!("policy: {} with {} edges (tree: {})", policy.name(), policy.num_edges(), {
+    println!(
+        "policy: {} with {} edges (tree: {})",
+        policy.name(),
+        policy.num_edges(),
         policy.is_tree()
-    });
+    );
 
     let eps = Epsilon::new(0.2).expect("positive");
     let mut rng = StdRng::seed_from_u64(42);
@@ -56,9 +59,8 @@ fn main() {
     // The same, with isotonic consistency post-processing (Section 5.4).
     let mut rng2 = StdRng::seed_from_u64(43);
     let consistent = measure_error(&truth, trials, |_| {
-        let est =
-            line_blowfish_histogram(&x, eps, TreeEstimator::LaplaceConsistent, &mut rng2)
-                .expect("line strategy");
+        let est = line_blowfish_histogram(&x, eps, TreeEstimator::LaplaceConsistent, &mut rng2)
+            .expect("line strategy");
         Ok(answer_ranges_1d(&est, &specs).expect("answers"))
     })
     .expect("trials > 0");
@@ -73,8 +75,14 @@ fn main() {
 
     println!("\nmean squared error per range query ({trials} trials):");
     println!("  ε/2-DP Privelet:               {:>12.1}", dp.mean_mse);
-    println!("  (ε,G)-Blowfish (Algorithm 1):  {:>12.1}", blowfish.mean_mse);
-    println!("  (ε,G)-Blowfish + consistency:  {:>12.1}", consistent.mean_mse);
+    println!(
+        "  (ε,G)-Blowfish (Algorithm 1):  {:>12.1}",
+        blowfish.mean_mse
+    );
+    println!(
+        "  (ε,G)-Blowfish + consistency:  {:>12.1}",
+        consistent.mean_mse
+    );
     println!(
         "\nBlowfish beats the DP baseline by {:.0}x on this workload —",
         dp.mean_mse / blowfish.mean_mse

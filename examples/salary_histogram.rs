@@ -18,7 +18,14 @@ fn main() {
     // 512 salary bins; real mass concentrated in a narrow band (sparse).
     let k = 512;
     let mut counts = vec![0.0; k];
-    for (bin, mass) in [(120usize, 4000.0), (121, 6500.0), (122, 5200.0), (123, 2100.0), (180, 800.0), (181, 450.0)] {
+    for (bin, mass) in [
+        (120usize, 4000.0),
+        (121, 6500.0),
+        (122, 5200.0),
+        (123, 2100.0),
+        (180, 800.0),
+        (181, 450.0),
+    ] {
         counts[bin] = mass;
     }
     let x = DataVector::new(Domain::one_dim(k), counts).expect("counts match domain");
@@ -39,7 +46,10 @@ fn main() {
         TreeEstimator::Dawa,
         TreeEstimator::DawaConsistent,
     ];
-    println!("\nhistogram mean squared error per bin ({trials} trials, ε={}):", eps.value());
+    println!(
+        "\nhistogram mean squared error per bin ({trials} trials, ε={}):",
+        eps.value()
+    );
     for est in estimators {
         let mut rng = StdRng::seed_from_u64(0x5A1A ^ est as u64);
         let report = measure_error(&truth, trials, |_| {

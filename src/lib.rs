@@ -66,8 +66,8 @@ pub use blowfish_strategies as strategies;
 pub mod prelude {
     pub use blowfish_core::{
         are_blowfish_neighbors, blowfish_neighbors, measure_error, mse_per_query, DataVector,
-        Delta, Domain, Epsilon, Incidence, LinearQuery, PolicyEdge, PolicyGraph, RangeQuery,
-        Vtx, Workload,
+        Delta, Domain, Epsilon, Incidence, LinearQuery, PolicyEdge, PolicyGraph, RangeQuery, Vtx,
+        Workload,
     };
     pub use blowfish_data::{dataset, DatasetId};
     pub use blowfish_mechanisms::{
@@ -75,8 +75,8 @@ pub mod prelude {
         privelet_histogram, privelet_histogram_1d, DawaOptions, MatrixMechanism,
     };
     pub use blowfish_strategies::{
-        answer_ranges_1d, answer_ranges_2d, dp_dawa_1d, dp_laplace, dp_privelet_1d,
-        dp_privelet_nd, grid_blowfish_histogram, line_blowfish_histogram, svd_lower_bound,
+        answer_ranges_1d, answer_ranges_2d, dp_dawa_1d, dp_laplace, dp_privelet_1d, dp_privelet_nd,
+        grid_blowfish_histogram, line_blowfish_histogram, svd_lower_bound,
         svd_lower_bound_unbounded_dp, true_ranges_1d, true_ranges_2d, ThetaEstimator,
         ThetaGridStrategy, ThetaLineStrategy, TreeEstimator,
     };

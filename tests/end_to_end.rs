@@ -164,9 +164,8 @@ fn data_dependent_variants_on_sparse_vs_dense() {
     });
     let mut r2 = StdRng::seed_from_u64(14);
     let consistent = mse_of(&truth, trials, || {
-        let h =
-            line_blowfish_histogram(&sparse, eps, TreeEstimator::LaplaceConsistent, &mut r2)
-                .unwrap();
+        let h = line_blowfish_histogram(&sparse, eps, TreeEstimator::LaplaceConsistent, &mut r2)
+            .unwrap();
         answer_ranges_1d(&h, &specs).unwrap()
     });
     assert!(
@@ -184,9 +183,8 @@ fn data_dependent_variants_on_sparse_vs_dense() {
     });
     let mut r4 = StdRng::seed_from_u64(16);
     let consistent_d = mse_of(&truth_d, trials, || {
-        let h =
-            line_blowfish_histogram(&dense, eps, TreeEstimator::LaplaceConsistent, &mut r4)
-                .unwrap();
+        let h = line_blowfish_histogram(&dense, eps, TreeEstimator::LaplaceConsistent, &mut r4)
+            .unwrap();
         answer_ranges_1d(&h, &specs).unwrap()
     });
     assert!(
@@ -235,8 +233,7 @@ fn svd_bound_analytic_anchors() {
     // bound is exactly P(ε,δ)·k.
     let k = 16;
     let gram_identity = blowfish_privacy::linalg::Matrix::identity(k);
-    let b = svd_lower_bound(&gram_identity, &PolicyGraph::star(k).unwrap(), eps, delta)
-        .unwrap();
+    let b = svd_lower_bound(&gram_identity, &PolicyGraph::star(k).unwrap(), eps, delta).unwrap();
     assert!(
         (b - p * k as f64).abs() / (p * k as f64) < 1e-9,
         "identity/star bound {b} vs analytic {}",
@@ -245,8 +242,7 @@ fn svd_bound_analytic_anchors() {
 
     // Scaling in ε: quadrupling ε divides the bound by 16.
     let eps4 = Epsilon::new(4.0).unwrap();
-    let b4 = svd_lower_bound(&gram_identity, &PolicyGraph::star(k).unwrap(), eps4, delta)
-        .unwrap();
+    let b4 = svd_lower_bound(&gram_identity, &PolicyGraph::star(k).unwrap(), eps4, delta).unwrap();
     assert!((b / b4 - 16.0).abs() < 1e-6);
 
     // Cross-policy ordering on ranges: line < unbounded DP at this size.

@@ -73,13 +73,12 @@ fn theta_strategy_privacy_budget_is_sufficient() {
 /// reconstruction side) and that single-edge perturbations stay confined
 /// to one group (the parallel-composition side).
 #[test]
+// The edge-space frame is inherently 2-D index arithmetic (v[i][j] over both
+// axes); iterator rewrites would obscure the paper's coordinate conventions.
+#[allow(clippy::needless_range_loop)]
 fn grid_strategy_edge_space_frame() {
     let k = 6;
-    let x = DataVector::new(
-        Domain::square(k),
-        (0..36).map(|i| (i % 5) as f64).collect(),
-    )
-    .unwrap();
+    let x = DataVector::new(Domain::square(k), (0..36).map(|i| (i % 5) as f64).collect()).unwrap();
     // Canonical solution: vertical edges carry column prefixes, bottom-row
     // horizontal edges carry cumulative column totals.
     let at = |r: usize, c: usize| x.get(r * k + c);

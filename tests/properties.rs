@@ -3,9 +3,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use blowfish_privacy::core::{
-    l1_sensitivity_unbounded, policy_sensitivity, theta_line_spanner,
-};
+use blowfish_privacy::core::{l1_sensitivity_unbounded, policy_sensitivity, theta_line_spanner};
 use blowfish_privacy::mechanisms::{haar_forward, haar_inverse, isotonic_non_decreasing};
 use blowfish_privacy::prelude::*;
 
@@ -14,8 +12,7 @@ use blowfish_privacy::prelude::*;
 fn tree_policy_strategy() -> impl Strategy<Value = PolicyGraph> {
     (3usize..14)
         .prop_flat_map(|k| {
-            let parents: Vec<BoxedStrategy<usize>> =
-                (1..k).map(|i| (0..i).boxed()).collect();
+            let parents: Vec<BoxedStrategy<usize>> = (1..k).map(|i| (0..i).boxed()).collect();
             (Just(k), parents)
         })
         .prop_map(|(k, parents)| {

@@ -118,8 +118,7 @@ fn claim_4_2_neighbor_bijection_on_trees() {
             let parent = rng.gen_range(0..i);
             edges.push(PolicyEdge::new(Vtx::Value(parent), Vtx::Value(i)).unwrap());
         }
-        let g = PolicyGraph::from_edges(Domain::one_dim(k), edges, format!("tree{trial}"))
-            .unwrap();
+        let g = PolicyGraph::from_edges(Domain::one_dim(k), edges, format!("tree{trial}")).unwrap();
         assert!(g.is_tree());
         let inc = Incidence::new(&g).unwrap();
 
@@ -132,11 +131,7 @@ fn claim_4_2_neighbor_bijection_on_trees() {
             // Neighbors that change the total are impossible here (no ⊥ in
             // the original tree), so the transform is well-defined.
             let yg = inc.solve_tree(&inc.reduce_database(&y).unwrap()).unwrap();
-            let dist: f64 = xg
-                .iter()
-                .zip(&yg)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let dist: f64 = xg.iter().zip(&yg).map(|(a, b)| (a - b).abs()).sum();
             assert!(
                 (dist - 1.0).abs() < 1e-9,
                 "trial {trial}: Blowfish neighbor at transformed L1 distance {dist}"
@@ -257,7 +252,10 @@ fn example_4_1_cumulative_histogram() {
     let g = PolicyGraph::line(k).unwrap();
     let inc = Incidence::new(&g).unwrap();
     let p = inc.matrix().to_dense();
-    let pinv = blowfish_privacy::linalg::Lu::factor(&p).unwrap().inverse().unwrap();
+    let pinv = blowfish_privacy::linalg::Lu::factor(&p)
+        .unwrap()
+        .inverse()
+        .unwrap();
     // P⁻¹ = C'_{k−1}: lower-triangular ones.
     let mut expected = Matrix::zeros(k - 1, k - 1);
     for i in 0..k - 1 {
