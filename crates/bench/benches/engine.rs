@@ -1,0 +1,146 @@
+//! The plan-once/answer-many hot path of the `blowfish-engine` layer.
+//!
+//! Three questions, matching the serving story:
+//!
+//! 1. **cold vs cached plan** — how much a fit costs when the policy
+//!    artifacts (θ-line spanner + incidence, grid Haar plans) are
+//!    re-derived per request vs served from a session's [`PlanCache`];
+//! 2. **serve path** — answering 10,000 random ranges from one fitted
+//!    `Estimate` (prefix sums: O(1) per query);
+//! 3. **plan cost in isolation** — building the session artifacts.
+//!
+//! The cached numbers are asserted to come from a cache that derived each
+//! artifact exactly once (see the `PlanStats` assertions), so this bench
+//! doubles as a regression guard for silent re-planning. Results are
+//! snapshotted in `BENCH_engine.json` at the repo root.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use blowfish_core::{DataVector, Domain, Epsilon};
+use blowfish_engine::{MechanismSpec, Policy, Session};
+use blowfish_mechanisms::{hierarchical_strategy, identity_strategy, MatrixMechanism};
+use blowfish_strategies::ThetaEstimator;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    let eps = Epsilon::new(0.5).expect("valid ε");
+
+    // --- θ-line strategy over k = 512, θ = 4 (the Figure 8d setting).
+    let k = 512;
+    let theta = 4;
+    let x = DataVector::new(Domain::one_dim(k), vec![2.0; k]).expect("uniform");
+    let spec = MechanismSpec::ThetaLine {
+        theta,
+        estimator: ThetaEstimator::Laplace,
+    };
+
+    // Cold: plan + fit per request — what per-call strategy construction
+    // costs without the engine.
+    g.bench_function(BenchmarkId::new("theta_line_cold_plan_fit", k), |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let s = Session::with_policy(Domain::one_dim(k), Policy::Theta1d { theta }, eps)
+                .expect("session");
+            let m = s.mechanism(&spec).expect("mechanism");
+            black_box(m.fit(&x, &mut rng).expect("fit"))
+        })
+    });
+
+    // Cached: the session plans once; iterations only fit.
+    let session =
+        Session::with_policy(Domain::one_dim(k), Policy::Theta1d { theta }, eps).expect("session");
+    let mech = session.mechanism(&spec).expect("mechanism");
+    g.bench_function(BenchmarkId::new("theta_line_cached_plan_fit", k), |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(mech.fit(&x, &mut rng).expect("fit")))
+    });
+    assert_eq!(
+        session.cache().stats().theta_line_builds(),
+        1,
+        "cached fits must not re-derive the spanner/incidence artifact"
+    );
+
+    // Plan cost in isolation.
+    g.bench_function(BenchmarkId::new("theta_line_plan_only", k), |b| {
+        b.iter(|| {
+            let s = Session::with_policy(Domain::one_dim(k), Policy::Theta1d { theta }, eps)
+                .expect("session");
+            black_box(s.mechanism(&spec).expect("mechanism"))
+        })
+    });
+
+    // Serve: 10,000 random ranges from one fitted estimate.
+    let d = Domain::one_dim(k);
+    let mut qrng = StdRng::seed_from_u64(2);
+    let specs = blowfish_core::random_range_specs(&d, 10_000, &mut qrng);
+    let mut rng = StdRng::seed_from_u64(3);
+    let est = mech.fit(&x, &mut rng).expect("fit");
+    g.bench_function("answer_10k_ranges", |b| {
+        b.iter(|| black_box(est.answer_all(&specs).expect("answers")))
+    });
+
+    // --- Grid strategy over 64×64 (Haar plans cached vs re-derived).
+    let kg = 64;
+    let xg = DataVector::new(Domain::square(kg), vec![1.0; kg * kg]).expect("uniform");
+    let gsession = Session::with_policy(Domain::square(kg), Policy::Theta2d { theta: 1 }, eps)
+        .expect("session");
+    let gmech = gsession.mechanism(&MechanismSpec::Grid).expect("mechanism");
+    g.bench_function(BenchmarkId::new("grid_cold_plan_fit", kg), |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            let s = Session::with_policy(Domain::square(kg), Policy::Theta2d { theta: 1 }, eps)
+                .expect("session");
+            let m = s.mechanism(&MechanismSpec::Grid).expect("mechanism");
+            black_box(m.fit(&xg, &mut rng).expect("fit"))
+        })
+    });
+    g.bench_function(BenchmarkId::new("grid_cached_plan_fit", kg), |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(gmech.fit(&xg, &mut rng).expect("fit")))
+    });
+    assert_eq!(
+        gsession.cache().stats().haar_plan_builds(),
+        1,
+        "cached grid fits must not re-derive the Haar plans"
+    );
+
+    // --- Matrix-mechanism pseudoinverse (A⁺) artifact: the dominant cost
+    // of a matrix-mechanism release is the SVD behind A⁺; the cache pays
+    // it once per strategy key.
+    let km = 64;
+    let w = identity_strategy(km);
+    let strat_a = hierarchical_strategy(km);
+    g.bench_function(BenchmarkId::new("pinv_cold_plan_release", km), |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let mm = MatrixMechanism::new(w.clone(), strat_a.clone()).expect("supported");
+            black_box(mm.noise_only(eps, &mut rng).expect("noise"))
+        })
+    });
+    let cache = session.cache();
+    g.bench_function(BenchmarkId::new("pinv_cached_plan_release", km), |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let mm = cache
+                .matrix_mechanism("identity/hierarchical/64", || {
+                    MatrixMechanism::new(w.clone(), strat_a.clone())
+                })
+                .expect("supported");
+            black_box(mm.noise_only(eps, &mut rng).expect("noise"))
+        })
+    });
+    assert_eq!(
+        cache.stats().pseudoinverse_builds(),
+        1,
+        "cached releases must not re-derive the A⁺ pseudoinverse"
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

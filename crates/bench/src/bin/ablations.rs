@@ -20,10 +20,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use blowfish_bench::{parse_args, sci};
+use blowfish_bench::{measure_bench, parse_args, sci, BenchError};
 use blowfish_core::{
-    bfs_spanning_tree, measure_error, theta_line_spanner, DataVector, Domain, Epsilon, Incidence,
-    PolicyGraph, Workload,
+    bfs_spanning_tree, theta_line_spanner, DataVector, Domain, Epsilon, Incidence, PolicyGraph,
+    Workload,
 };
 use blowfish_data::{dataset, DatasetId};
 use blowfish_mechanisms::{
@@ -36,37 +36,54 @@ use blowfish_strategies::{
 };
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("ablations: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_args(&args);
     let trials = overrides.trials.unwrap_or(5);
     let queries = overrides.queries.unwrap_or(2_000);
-    let eps = Epsilon::new(overrides.epsilon.unwrap_or(0.1)).expect("valid");
+    let eps = Epsilon::new(overrides.epsilon.unwrap_or(0.1))?;
 
     println!(
         "# Ablations (ε={}, {trials} trials, {queries} queries)",
         eps.value()
     );
 
-    ablation_theta_inner(eps, trials, queries);
-    ablation_spanner_choice(eps, trials, queries);
-    ablation_dawa_alpha(eps, trials);
-    ablation_matrix_strategies();
-    ablation_hist_estimators(eps, trials);
+    ablation_theta_inner(eps, trials, queries)?;
+    ablation_spanner_choice(eps, trials, queries)?;
+    ablation_dawa_alpha(eps, trials)?;
+    ablation_matrix_strategies()?;
+    ablation_hist_estimators(eps, trials)?;
+    Ok(())
+}
+
+/// Mean per-trial MSE of a fallible estimator against a fixed truth.
+fn avg_mse(
+    truth: &[f64],
+    trials: usize,
+    mut f: impl FnMut() -> Result<Vec<f64>, BenchError>,
+) -> Result<f64, BenchError> {
+    Ok(measure_bench(truth, trials, |_| f())?.mean_mse)
 }
 
 /// (1) θ-line inner mechanism across θ.
-fn ablation_theta_inner(eps: Epsilon, trials: usize, queries: usize) {
+fn ablation_theta_inner(eps: Epsilon, trials: usize, queries: usize) -> Result<(), BenchError> {
     println!("\n## 1. θ-line inner mechanism (uniform data, k = 2048)\n");
     let k = 2048;
-    let x = DataVector::new(Domain::one_dim(k), vec![2.0; k]).expect("uniform");
+    let x = DataVector::new(Domain::one_dim(k), vec![2.0; k])?;
     let d = Domain::one_dim(k);
     let mut qrng = StdRng::seed_from_u64(1);
     let specs = blowfish_core::random_range_specs(&d, queries, &mut qrng);
-    let truth = true_ranges_1d(&x, &specs).expect("truth");
+    let truth = true_ranges_1d(&x, &specs)?;
     println!("| θ | Laplace | GroupPrivelet | Dawa |");
     println!("|---|---|---|---|");
     for theta in [2usize, 4, 8, 16] {
-        let strat = ThetaLineStrategy::new(k, theta).expect("k > θ");
+        let strat = ThetaLineStrategy::new(k, theta)?;
         print!("| {theta} |");
         for est in [
             ThetaEstimator::Laplace,
@@ -74,12 +91,11 @@ fn ablation_theta_inner(eps: Epsilon, trials: usize, queries: usize) {
             ThetaEstimator::Dawa,
         ] {
             let mut rng = StdRng::seed_from_u64(2);
-            let report = measure_error(&truth, trials, |_| {
-                let h = strat.histogram(&x, eps, est, &mut rng).expect("strategy");
-                Ok(answer_ranges_1d(&h, &specs).expect("answers"))
-            })
-            .expect("trials > 0");
-            print!(" {} |", sci(report.mean_mse));
+            let mse = avg_mse(&truth, trials, || {
+                let h = strat.histogram(&x, eps, est, &mut rng)?;
+                Ok(answer_ranges_1d(&h, &specs)?)
+            })?;
+            print!(" {} |", sci(mse));
         }
         println!();
     }
@@ -88,44 +104,42 @@ fn ablation_theta_inner(eps: Epsilon, trials: usize, queries: usize) {
     println!("θ. Theorem 5.5's Privelet choice matters asymptotically only; the");
     println!("experiments' Transformed+Laplace variant is the right default. DAWA");
     println!("tracks Laplace on uniform data (no structure to exploit).");
+    Ok(())
 }
 
 /// (2) H^θ spanner vs generic BFS tree.
-fn ablation_spanner_choice(eps: Epsilon, trials: usize, queries: usize) {
+fn ablation_spanner_choice(eps: Epsilon, trials: usize, queries: usize) -> Result<(), BenchError> {
     println!("\n## 2. Spanner choice for G⁴ (dataset D, k = 1024)\n");
     let k = 1024;
     let theta = 4;
-    let x = blowfish_data::aggregate_1d(&dataset(DatasetId::D), k).expect("divides");
+    let x = blowfish_data::aggregate_1d(&dataset(DatasetId::D), k)?;
     let d = Domain::one_dim(k);
     let mut qrng = StdRng::seed_from_u64(3);
     let specs = blowfish_core::random_range_specs(&d, queries, &mut qrng);
-    let truth = true_ranges_1d(&x, &specs).expect("truth");
+    let truth = true_ranges_1d(&x, &specs)?;
 
     // Bespoke spanner.
-    let sp = theta_line_spanner(k, theta).expect("k > θ");
-    let strat = ThetaLineStrategy::new(k, theta).expect("k > θ");
+    let sp = theta_line_spanner(k, theta)?;
+    let strat = ThetaLineStrategy::new(k, theta)?;
     let mut rng = StdRng::seed_from_u64(4);
-    let bespoke = measure_error(&truth, trials, |_| {
-        let h = strat
-            .histogram(&x, eps, ThetaEstimator::Laplace, &mut rng)
-            .expect("strategy");
-        Ok(answer_ranges_1d(&h, &specs).expect("answers"))
-    })
-    .expect("trials > 0");
+    let bespoke = avg_mse(&truth, trials, || {
+        let h = strat.histogram(&x, eps, ThetaEstimator::Laplace, &mut rng)?;
+        Ok(answer_ranges_1d(&h, &specs)?)
+    })?;
 
     // Generic BFS spanning tree of G^θ.
-    let g_theta = PolicyGraph::theta_line(k, theta).expect("valid");
-    let bfs = bfs_spanning_tree(&g_theta, 0).expect("connected");
-    let bfs_stretch = g_theta.stretch_through(&bfs).expect("spanning");
-    let inc = Incidence::new(&bfs).expect("tree");
-    let eps_bfs = eps.for_stretch(bfs_stretch).expect("stretch > 0");
+    let g_theta = PolicyGraph::theta_line(k, theta)?;
+    let bfs = bfs_spanning_tree(&g_theta, 0)?;
+    let bfs_stretch = g_theta.stretch_through(&bfs).ok_or(BenchError::Config {
+        what: "BFS tree does not span the θ-line policy graph",
+    })?;
+    let inc = Incidence::new(&bfs)?;
+    let eps_bfs = eps.for_stretch(bfs_stretch)?;
     let mut rng2 = StdRng::seed_from_u64(5);
-    let generic = measure_error(&truth, trials, |_| {
-        let h = tree_blowfish_histogram(&inc, &x, eps_bfs, TreeEstimator::Laplace, &mut rng2)
-            .expect("strategy");
-        Ok(answer_ranges_1d(&h, &specs).expect("answers"))
-    })
-    .expect("trials > 0");
+    let generic = avg_mse(&truth, trials, || {
+        let h = tree_blowfish_histogram(&inc, &x, eps_bfs, TreeEstimator::Laplace, &mut rng2)?;
+        Ok(answer_ranges_1d(&h, &specs)?)
+    })?;
 
     println!("| spanner | certified stretch ℓ | budget used | MSE/query |");
     println!("|---|---|---|---|");
@@ -133,19 +147,20 @@ fn ablation_spanner_choice(eps: Epsilon, trials: usize, queries: usize) {
         "| H^θ (Figure 6) | {} | ε/{} | {} |",
         sp.stretch,
         sp.stretch,
-        sci(bespoke.mean_mse)
+        sci(bespoke)
     );
     println!(
         "| BFS tree | {bfs_stretch} | ε/{bfs_stretch} | {} |",
-        sci(generic.mean_mse)
+        sci(generic)
     );
     println!("\nReading: the bespoke spanner's bounded stretch (≤3) is the whole");
     println!("game — a generic tree pays its worse stretch twice (budget AND");
     println!("longer subtree paths).");
+    Ok(())
 }
 
 /// (3) DAWA budget split α.
-fn ablation_dawa_alpha(eps: Epsilon, trials: usize) {
+fn ablation_dawa_alpha(eps: Epsilon, trials: usize) -> Result<(), BenchError> {
     println!("\n## 3. DAWA partition budget α (dataset E, Hist)\n");
     let x = dataset(DatasetId::E);
     let truth = x.counts().to_vec();
@@ -156,26 +171,26 @@ fn ablation_dawa_alpha(eps: Epsilon, trials: usize) {
         let opts = DawaOptions {
             partition_budget_fraction: alpha,
         };
-        let report = measure_error(&truth, trials, |_| {
-            Ok(dawa_histogram(x.counts(), eps, opts, &mut rng).expect("dawa"))
-        })
-        .expect("trials > 0");
-        println!("| {alpha} | {} |", sci(report.mean_mse));
+        let mse = avg_mse(&truth, trials, || {
+            Ok(dawa_histogram(x.counts(), eps, opts, &mut rng)?)
+        })?;
+        println!("| {alpha} | {} |", sci(mse));
     }
     println!("\nReading: small α starves the partition (bad buckets); large α");
     println!("starves the totals (noisy buckets) — DAWA's default 0.25 sits in");
     println!("the flat middle.");
+    Ok(())
 }
 
 /// (4) Matrix-mechanism strategies on the transformed workload (analytic).
-fn ablation_matrix_strategies() {
+fn ablation_matrix_strategies() -> Result<(), BenchError> {
     println!("\n## 4. Strategies for the transformed workload (k = 64, analytic)\n");
     let k = 64;
-    let eps = Epsilon::new(1.0).expect("valid");
-    let g = PolicyGraph::line(k).expect("valid");
-    let inc = Incidence::new(&g).expect("connected");
+    let eps = Epsilon::new(1.0)?;
+    let g = PolicyGraph::line(k)?;
+    let inc = Incidence::new(&g)?;
     let w = Workload::all_ranges_1d(k);
-    let (wg, _) = inc.transform_workload(&w).expect("transforms");
+    let (wg, _) = inc.transform_workload(&w)?;
     let wg_dense = wg.to_dense_matrix();
     println!("| strategy A_G | Δ_A | E[error]/query |");
     println!("|---|---|---|");
@@ -184,7 +199,7 @@ fn ablation_matrix_strategies() {
         ("hierarchical", hierarchical_strategy(k - 1)),
         ("wavelet", wavelet_strategy(k - 1)),
     ] {
-        let mm = MatrixMechanism::new(wg_dense.clone(), strat).expect("supported");
+        let mm = MatrixMechanism::new(wg_dense.clone(), strat)?;
         println!(
             "| {name} | {} | {} |",
             mm.delta_a(),
@@ -194,10 +209,11 @@ fn ablation_matrix_strategies() {
     println!("\nReading: after the G¹ transform the workload is (near-)identity,");
     println!("so the identity strategy wins — the polylog machinery is only");
     println!("needed BEFORE the transform. This is Section 5.2.1's point.");
+    Ok(())
 }
 
 /// (5) Hist estimators on the transformed database (the open question).
-fn ablation_hist_estimators(eps: Epsilon, trials: usize) {
+fn ablation_hist_estimators(eps: Epsilon, trials: usize) -> Result<(), BenchError> {
     println!("\n## 5. Hist under G¹: estimators on x_G (datasets D and E)\n");
     println!("| estimator | D | E |");
     println!("|---|---|---|");
@@ -214,11 +230,10 @@ fn ablation_hist_estimators(eps: Epsilon, trials: usize) {
             let x = dataset(id);
             let truth = x.counts().to_vec();
             let mut rng = StdRng::seed_from_u64(7);
-            let report = measure_error(&truth, trials, |_| {
-                Ok(line_blowfish_histogram(&x, eps, est, &mut rng).expect("strategy"))
-            })
-            .expect("trials > 0");
-            print!(" {} |", sci(report.mean_mse));
+            let mse = avg_mse(&truth, trials, || {
+                Ok(line_blowfish_histogram(&x, eps, est, &mut rng)?)
+            })?;
+            print!(" {} |", sci(mse));
         }
         println!();
     }
@@ -227,4 +242,5 @@ fn ablation_hist_estimators(eps: Epsilon, trials: usize) {
     println!("beat plain Laplace for per-cell error — differencing cancels the");
     println!("tree's long-range advantage — evidence the open question needs a");
     println!("genuinely different idea.");
+    Ok(())
 }

@@ -15,8 +15,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use blowfish_bench::{parse_args, sci};
-use blowfish_core::{measure_error, DataVector, Domain, Epsilon};
+use blowfish_bench::{measure_bench, parse_args, sci, BenchError};
+use blowfish_core::{DataVector, Domain, Epsilon};
 use blowfish_strategies::{
     answer_ranges_1d, answer_ranges_2d, dp_privelet_1d, dp_privelet_nd, grid_blowfish_histogram,
     line_blowfish_histogram, true_ranges_1d, true_ranges_2d, ThetaEstimator, ThetaGridStrategy,
@@ -24,11 +24,18 @@ use blowfish_strategies::{
 };
 
 fn main() {
+    if let Err(e) = run_all() {
+        eprintln!("fig3: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run_all() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_args(&args);
     let trials = overrides.trials.unwrap_or(5);
     let queries = overrides.queries.unwrap_or(2_000);
-    let eps = Epsilon::new(overrides.epsilon.unwrap_or(1.0)).expect("valid");
+    let eps = Epsilon::new(overrides.epsilon.unwrap_or(1.0))?;
 
     println!("# Figure 3 — data-independent error per query (measured, uniform data)");
     println!(
@@ -41,34 +48,30 @@ fn main() {
     println!("| k | Blowfish G¹ (Θ(1/ε²)) | Blowfish G⁴ (O(log³θ)) | Blowfish G¹⁶ | ε-DP Privelet (O(log³k)) |");
     println!("|---|---|---|---|---|");
     for k in [256usize, 1024, 4096] {
-        let x = DataVector::new(Domain::one_dim(k), vec![2.0; k]).expect("uniform");
+        let x = DataVector::new(Domain::one_dim(k), vec![2.0; k])?;
         let d = Domain::one_dim(k);
         let mut qrng = StdRng::seed_from_u64(11);
         let specs = blowfish_core::random_range_specs(&d, queries, &mut qrng);
-        let truth = true_ranges_1d(&x, &specs).expect("truth");
+        let truth = true_ranges_1d(&x, &specs)?;
 
         let g1 = run(trials, &truth, |rng| {
-            let h = line_blowfish_histogram(&x, eps, TreeEstimator::Laplace, rng).expect("g1");
-            answer_ranges_1d(&h, &specs).expect("answers")
-        });
-        let s4 = ThetaLineStrategy::new(k, 4).expect("k>4");
+            let h = line_blowfish_histogram(&x, eps, TreeEstimator::Laplace, rng)?;
+            Ok(answer_ranges_1d(&h, &specs)?)
+        })?;
+        let s4 = ThetaLineStrategy::new(k, 4)?;
         let g4 = run(trials, &truth, |rng| {
-            let h = s4
-                .histogram(&x, eps, ThetaEstimator::GroupPrivelet, rng)
-                .expect("g4");
-            answer_ranges_1d(&h, &specs).expect("answers")
-        });
-        let s16 = ThetaLineStrategy::new(k, 16).expect("k>16");
+            let h = s4.histogram(&x, eps, ThetaEstimator::GroupPrivelet, rng)?;
+            Ok(answer_ranges_1d(&h, &specs)?)
+        })?;
+        let s16 = ThetaLineStrategy::new(k, 16)?;
         let g16 = run(trials, &truth, |rng| {
-            let h = s16
-                .histogram(&x, eps, ThetaEstimator::GroupPrivelet, rng)
-                .expect("g16");
-            answer_ranges_1d(&h, &specs).expect("answers")
-        });
+            let h = s16.histogram(&x, eps, ThetaEstimator::GroupPrivelet, rng)?;
+            Ok(answer_ranges_1d(&h, &specs)?)
+        })?;
         let dp = run(trials, &truth, |rng| {
-            let h = dp_privelet_1d(&x, eps, rng).expect("dp");
-            answer_ranges_1d(&h, &specs).expect("answers")
-        });
+            let h = dp_privelet_1d(&x, eps, rng)?;
+            Ok(answer_ranges_1d(&h, &specs)?)
+        })?;
         println!(
             "| {k} | {} | {} | {} | {} |",
             sci(g1),
@@ -83,25 +86,25 @@ fn main() {
     println!("| k (grid k×k) | Blowfish G¹ (O(2log³k)) | Blowfish G⁴ | ε-DP Privelet (O(log⁶k)) |");
     println!("|---|---|---|---|");
     for k in [32usize, 64] {
-        let x = DataVector::new(Domain::square(k), vec![2.0; k * k]).expect("uniform");
+        let x = DataVector::new(Domain::square(k), vec![2.0; k * k])?;
         let d = Domain::square(k);
         let mut qrng = StdRng::seed_from_u64(13);
         let specs = blowfish_core::random_range_specs(&d, queries, &mut qrng);
-        let truth = true_ranges_2d(&x, &specs).expect("truth");
+        let truth = true_ranges_2d(&x, &specs)?;
 
         let g1 = run(trials, &truth, |rng| {
-            let h = grid_blowfish_histogram(&x, eps, rng).expect("g1");
-            answer_ranges_2d(&h, k, k, &specs).expect("answers")
-        });
-        let s4 = ThetaGridStrategy::new(k, 4).expect("divisible");
+            let h = grid_blowfish_histogram(&x, eps, rng)?;
+            Ok(answer_ranges_2d(&h, k, k, &specs)?)
+        })?;
+        let s4 = ThetaGridStrategy::new(k, 4)?;
         let g4 = run(trials, &truth, |rng| {
-            let h = s4.histogram(&x, eps, rng).expect("g4");
-            answer_ranges_2d(&h, k, k, &specs).expect("answers")
-        });
+            let h = s4.histogram(&x, eps, rng)?;
+            Ok(answer_ranges_2d(&h, k, k, &specs)?)
+        })?;
         let dp = run(trials, &truth, |rng| {
-            let h = dp_privelet_nd(&x, eps, rng).expect("dp");
-            answer_ranges_2d(&h, k, k, &specs).expect("answers")
-        });
+            let h = dp_privelet_nd(&x, eps, rng)?;
+            Ok(answer_ranges_2d(&h, k, k, &specs)?)
+        })?;
         println!("| {k} | {} | {} | {} |", sci(g1), sci(g4), sci(dp));
     }
 
@@ -109,11 +112,14 @@ fn main() {
     println!(" - G¹ column flat in k (Θ(1/ε²)); Privelet column grows ~log³k.");
     println!(" - G^θ columns flat in k, growing with θ (log³θ).");
     println!(" - 2-D: Blowfish grows ~log³k vs Privelet's ~log⁶k.");
+    Ok(())
 }
 
-fn run(trials: usize, truth: &[f64], mut f: impl FnMut(&mut StdRng) -> Vec<f64>) -> f64 {
+fn run(
+    trials: usize,
+    truth: &[f64],
+    mut f: impl FnMut(&mut StdRng) -> Result<Vec<f64>, BenchError>,
+) -> Result<f64, BenchError> {
     let mut rng = StdRng::seed_from_u64(0xF163);
-    measure_error(truth, trials, |_| Ok(f(&mut rng)))
-        .expect("trials > 0")
-        .mean_mse
+    Ok(measure_bench(truth, trials, |_| f(&mut rng))?.mean_mse)
 }

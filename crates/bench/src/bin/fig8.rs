@@ -1,6 +1,7 @@
 //! Regenerates **Figure 8** — the main Section 6 comparison of
 //! `ε/2`-differentially-private and `(ε, G)`-Blowfish algorithms on four
-//! workloads at ε ∈ {0.01, 0.1}:
+//! workloads at ε ∈ {0.01, 0.1}, driven through the `blowfish-engine`
+//! registry.
 //!
 //! * (a, e) 2D-Range under `G¹_{k²}` on twitter25/50/100,
 //! * (b, f) Hist under `G¹_k` on datasets A–G,
@@ -12,10 +13,17 @@
 
 use blowfish_bench::{
     hist_panel, panel_description, parse_args, print_panel, range1d_panel, range2d_panel,
-    theta_panel, Config,
+    theta_panel, BenchError, Config,
 };
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig8: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_args(&args);
     let epsilons: Vec<f64> = overrides
@@ -27,7 +35,7 @@ fn main() {
     println!("# Figure 8 — ε/2-DP vs (ε, G)-Blowfish");
     for &eps in &epsilons {
         let cfg = overrides.apply(Config::paper(eps));
-        run_panels(&panel, &cfg);
+        run_panels(&panel, &cfg)?;
     }
     println!("\nPaper shape checks (read off Figure 8):");
     println!(" - 1D-Range: Blowfish variants sit 2-3 orders of magnitude below");
@@ -37,15 +45,16 @@ fn main() {
     println!(" - 2D-Range: Transformed+Privelet below Privelet everywhere and");
     println!("   below DAWA on the larger grids.");
     println!(" - G⁴: Blowfish error flat in domain size; DP error grows.");
+    Ok(())
 }
 
-fn run_panels(panel: &str, cfg: &Config) {
+fn run_panels(panel: &str, cfg: &Config) -> Result<(), BenchError> {
     if panel == "2d" || panel == "all" {
         println!(
             "\n## {}",
             panel_description("2D-Range (G¹_k², twitter grids)", cfg)
         );
-        let rows = range2d_panel(cfg);
+        let rows = range2d_panel(cfg)?;
         let cols: Vec<String> = ["twitter25", "twitter50", "twitter100"]
             .iter()
             .map(|s| s.to_string())
@@ -57,7 +66,7 @@ fn run_panels(panel: &str, cfg: &Config) {
             "\n## {}",
             panel_description("Hist (G¹_k, datasets A-G)", cfg)
         );
-        let rows = hist_panel(cfg);
+        let rows = hist_panel(cfg)?;
         let cols: Vec<String> = ["A", "B", "C", "D", "E", "F", "G"]
             .iter()
             .map(|s| s.to_string())
@@ -69,7 +78,7 @@ fn run_panels(panel: &str, cfg: &Config) {
             "\n## {}",
             panel_description("1D-Range (G¹_k, datasets A-G)", cfg)
         );
-        let rows = range1d_panel(cfg);
+        let rows = range1d_panel(cfg)?;
         let cols: Vec<String> = ["A", "B", "C", "D", "E", "F", "G"]
             .iter()
             .map(|s| s.to_string())
@@ -81,11 +90,12 @@ fn run_panels(panel: &str, cfg: &Config) {
             "\n## {}",
             panel_description("1D-Range (G⁴_k, dataset D at 512..4096)", cfg)
         );
-        let rows = theta_panel(cfg);
+        let rows = theta_panel(cfg)?;
         let cols: Vec<String> = ["512", "1024", "2048", "4096"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         print_panel("1D-Range under G⁴", &cols, &rows);
     }
+    Ok(())
 }

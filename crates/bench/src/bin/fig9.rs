@@ -1,15 +1,23 @@
 //! Regenerates **Figure 9** (Appendix B) — the same four panels as
-//! Figure 8 at the extreme budgets ε ∈ {1, 0.001}.
+//! Figure 8 at the extreme budgets ε ∈ {1, 0.001}, driven through the
+//! `blowfish-engine` registry.
 //!
 //! Flags: `--panel {2d|hist|1d|theta|all}`, `--epsilon X`, `--trials N`,
 //! `--queries N`.
 
 use blowfish_bench::{
     hist_panel, panel_description, parse_args, print_panel, range1d_panel, range2d_panel,
-    theta_panel, Config,
+    theta_panel, BenchError, Config,
 };
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("fig9: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let overrides = parse_args(&args);
     let epsilons: Vec<f64> = overrides
@@ -23,7 +31,7 @@ fn main() {
         let cfg = overrides.apply(Config::paper(eps));
         if panel == "2d" || panel == "all" {
             println!("\n## {}", panel_description("2D-Range (G¹_k²)", &cfg));
-            let rows = range2d_panel(&cfg);
+            let rows = range2d_panel(&cfg)?;
             let cols: Vec<String> = ["twitter25", "twitter50", "twitter100"]
                 .iter()
                 .map(|s| s.to_string())
@@ -32,7 +40,7 @@ fn main() {
         }
         if panel == "hist" || panel == "all" {
             println!("\n## {}", panel_description("Hist (G¹_k)", &cfg));
-            let rows = hist_panel(&cfg);
+            let rows = hist_panel(&cfg)?;
             let cols: Vec<String> = ["A", "B", "C", "D", "E", "F", "G"]
                 .iter()
                 .map(|s| s.to_string())
@@ -41,7 +49,7 @@ fn main() {
         }
         if panel == "1d" || panel == "all" {
             println!("\n## {}", panel_description("1D-Range (G¹_k)", &cfg));
-            let rows = range1d_panel(&cfg);
+            let rows = range1d_panel(&cfg)?;
             let cols: Vec<String> = ["A", "B", "C", "D", "E", "F", "G"]
                 .iter()
                 .map(|s| s.to_string())
@@ -50,7 +58,7 @@ fn main() {
         }
         if panel == "theta" || panel == "all" {
             println!("\n## {}", panel_description("1D-Range (G⁴_k)", &cfg));
-            let rows = theta_panel(&cfg);
+            let rows = theta_panel(&cfg)?;
             let cols: Vec<String> = ["512", "1024", "2048", "4096"]
                 .iter()
                 .map(|s| s.to_string())
@@ -62,4 +70,5 @@ fn main() {
     println!("variant overtakes Transformed+Laplace (better clustering at high");
     println!("budget); at ε=0.001 the ordering reverses — the paper's conjecture");
     println!("about budget-starved clustering.");
+    Ok(())
 }

@@ -1,0 +1,85 @@
+//! The bench-layer error type: every experiment harness and binary
+//! propagates `Result<_, BenchError>` instead of `.expect(…)`-panicking
+//! mid-run.
+
+use blowfish_core::CoreError;
+use blowfish_data::DataError;
+use blowfish_engine::EngineError;
+use blowfish_mechanisms::MechanismError;
+use blowfish_strategies::StrategyError;
+
+/// Errors reported by the experiment harnesses and figure binaries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BenchError {
+    /// An error from the engine layer.
+    Engine(EngineError),
+    /// An error from the strategies crate.
+    Strategy(StrategyError),
+    /// An error from the core crate.
+    Core(CoreError),
+    /// An error from a mechanism substrate.
+    Mechanism(MechanismError),
+    /// An error from the dataset crate.
+    Data(DataError),
+    /// An invalid experiment configuration.
+    Config {
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Engine(e) => write!(f, "engine error: {e}"),
+            BenchError::Strategy(e) => write!(f, "strategy error: {e}"),
+            BenchError::Core(e) => write!(f, "core error: {e}"),
+            BenchError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            BenchError::Data(e) => write!(f, "data error: {e}"),
+            BenchError::Config { what } => write!(f, "invalid experiment config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BenchError::Engine(e) => Some(e),
+            BenchError::Strategy(e) => Some(e),
+            BenchError::Core(e) => Some(e),
+            BenchError::Mechanism(e) => Some(e),
+            BenchError::Data(e) => Some(e),
+            BenchError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<EngineError> for BenchError {
+    fn from(e: EngineError) -> Self {
+        BenchError::Engine(e)
+    }
+}
+
+impl From<StrategyError> for BenchError {
+    fn from(e: StrategyError) -> Self {
+        BenchError::Strategy(e)
+    }
+}
+
+impl From<CoreError> for BenchError {
+    fn from(e: CoreError) -> Self {
+        BenchError::Core(e)
+    }
+}
+
+impl From<MechanismError> for BenchError {
+    fn from(e: MechanismError) -> Self {
+        BenchError::Mechanism(e)
+    }
+}
+
+impl From<DataError> for BenchError {
+    fn from(e: DataError) -> Self {
+        BenchError::Data(e)
+    }
+}

@@ -1,21 +1,28 @@
-//! The shared experiment loops behind Figures 8 and 9.
+//! The shared experiment loops behind Figures 8 and 9, driven through the
+//! `blowfish-engine` registry.
 //!
 //! Section 6 protocol: for each task, compare `ε/2`-differentially-private
 //! baselines against `(ε, G)`-Blowfish strategies, reporting average mean
 //! squared error per query over independent runs (the paper uses 5) on
 //! 10,000 random range queries (or the full histogram workload).
+//!
+//! Every panel opens one engine [`Session`] per dataset — planning the
+//! policy artifacts once — and iterates the registry lineup for its task,
+//! so the panels and any future serving path share one code path and one
+//! mechanism catalogue. Per-cell seeds are derived exactly as the
+//! pre-engine harness did, keeping panel outputs bit-identical.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use blowfish_core::{measure_error, DataVector, Domain, Epsilon, RangeQuery, Workload};
-use blowfish_data::{aggregate_1d, dataset, DatasetId};
-use blowfish_strategies::{
-    answer_ranges_1d, answer_ranges_2d, dp_dawa_1d, dp_dawa_2d, dp_laplace, dp_privelet_1d,
-    dp_privelet_nd, grid_blowfish_histogram, line_blowfish_histogram, true_ranges_1d,
-    true_ranges_2d, ThetaEstimator, ThetaLineStrategy, TreeEstimator,
+use blowfish_core::{
+    measure_error, DataVector, Domain, Epsilon, ErrorReport, RangeQuery, Workload,
 };
+use blowfish_data::{aggregate_1d, dataset, DatasetId};
+use blowfish_engine::{Policy, Session, Task};
+use blowfish_strategies::{true_ranges_1d, true_ranges_2d, Estimate, Mechanism};
 
+use crate::error::BenchError;
 use crate::report::Measurement;
 
 /// Experiment configuration shared by every panel.
@@ -42,230 +49,182 @@ impl Config {
         }
     }
 
-    fn eps(&self) -> Epsilon {
-        Epsilon::new(self.epsilon).expect("validated by caller")
-    }
-
-    fn eps_half(&self) -> Epsilon {
-        self.eps().half()
+    fn eps(&self) -> Result<Epsilon, BenchError> {
+        Ok(Epsilon::new(self.epsilon)?)
     }
 }
 
-/// A named histogram estimator: dataset in, estimate out.
-type Estimator<'a> = Box<dyn FnMut(&DataVector, &mut StdRng) -> Vec<f64> + 'a>;
+/// Runs `trials` independent executions of a fallible estimator and
+/// reports the per-trial MSE statistics with [`BenchError`] propagation.
+/// Shared by the panel loops, `fig3`, and `ablations`; the statistics
+/// themselves are delegated to core's `measure_error` so they cannot
+/// drift between the bench harnesses and the core error harness.
+pub fn measure_bench<F>(truth: &[f64], trials: usize, mut run: F) -> Result<ErrorReport, BenchError>
+where
+    F: FnMut(usize) -> Result<Vec<f64>, BenchError>,
+{
+    if trials == 0 || truth.is_empty() {
+        return Err(BenchError::Config {
+            what: "trials must be positive and truth non-empty",
+        });
+    }
+    // Collect the fallible estimates first (BenchError), then feed them
+    // to the infallible core statistics loop (CoreError).
+    let mut estimates = Vec::with_capacity(trials);
+    for t in 0..trials {
+        estimates.push(run(t)?);
+    }
+    let mut next = estimates.into_iter();
+    Ok(measure_error(truth, trials, |_| {
+        Ok(next.next().expect("one estimate per trial"))
+    })?)
+}
 
+/// Runs one (dataset, mechanism) cell: `trials` independent fits, each
+/// answered through the fitted [`Estimate`].
 fn run_cell(
     x: &DataVector,
     truth: &[f64],
-    answer: impl Fn(&[f64]) -> Vec<f64>,
-    est: &mut Estimator,
+    mech: &dyn Mechanism,
+    answer: impl Fn(&Estimate) -> Result<Vec<f64>, BenchError>,
     trials: usize,
     seed: u64,
-) -> (f64, f64) {
+) -> Result<(f64, f64), BenchError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let report = measure_error(truth, trials, |_| {
-        let hist = est(x, &mut rng);
-        Ok(answer(&hist))
-    })
-    .expect("trials > 0 and truth non-empty");
-    (report.mean_mse, report.std_mse)
+    let report = measure_bench(truth, trials, |_| {
+        let est = mech.fit(x, &mut rng)?;
+        answer(&est)
+    })?;
+    Ok((report.mean_mse, report.std_mse))
 }
 
-/// The Hist panel (Figures 8b/8f, 9b/9f): the identity workload on
-/// datasets A–G under `G¹_k`.
-pub fn hist_panel(cfg: &Config) -> Vec<Measurement> {
-    let eps = cfg.eps();
-    let eps2 = cfg.eps_half();
-    let mut out = Vec::new();
-    for id in DatasetId::one_dimensional() {
-        let x = dataset(id);
-        let truth = x.counts().to_vec();
-        let algorithms: Vec<(&str, Estimator)> = vec![
-            (
-                "Laplace",
-                Box::new(move |x, rng| dp_laplace(x, eps2, rng).expect("laplace")),
-            ),
-            (
-                "Dawa",
-                Box::new(move |x, rng| dp_dawa_1d(x, eps2, rng).expect("dawa")),
-            ),
-            (
-                "Transformed + Laplace",
-                Box::new(move |x, rng| {
-                    line_blowfish_histogram(x, eps, TreeEstimator::Laplace, rng).expect("t+l")
-                }),
-            ),
-            (
-                "Transformed + ConsistentEst",
-                Box::new(move |x, rng| {
-                    line_blowfish_histogram(x, eps, TreeEstimator::LaplaceConsistent, rng)
-                        .expect("t+c")
-                }),
-            ),
-            (
-                "Trans + Dawa + Cons",
-                Box::new(move |x, rng| {
-                    line_blowfish_histogram(x, eps, TreeEstimator::DawaConsistent, rng)
-                        .expect("t+d+c")
-                }),
-            ),
-        ];
-        for (name, mut est) in algorithms {
+/// One dataset column of a panel: the session, the data/truth pair, and
+/// the per-cell seed base (master seed ⊕ column salt; the algorithm-name
+/// hash is mixed in per registry entry, reproducing the historical
+/// per-cell seeds exactly).
+struct PanelColumn<'a> {
+    session: &'a Session,
+    task: Task,
+    x: &'a DataVector,
+    truth: &'a [f64],
+    column: &'a str,
+    trials: usize,
+    seed_base: u64,
+}
+
+impl PanelColumn<'_> {
+    /// Runs every registry mechanism of the column's task.
+    fn run(
+        &self,
+        answer: impl Fn(&Estimate) -> Result<Vec<f64>, BenchError>,
+        out: &mut Vec<Measurement>,
+    ) -> Result<(), BenchError> {
+        for spec in self.session.registry(self.task)? {
+            let mech = self.session.mechanism(&spec)?;
+            let name = spec.label();
             let (mse, std) = run_cell(
-                &x,
-                &truth,
-                |h| h.to_vec(),
-                &mut est,
-                cfg.trials,
-                cfg.seed ^ hash(name) ^ hash(id.name()),
-            );
+                self.x,
+                self.truth,
+                mech.as_ref(),
+                &answer,
+                self.trials,
+                self.seed_base ^ hash(name),
+            )?;
             out.push(Measurement {
-                column: id.name().to_string(),
+                column: self.column.to_string(),
                 algorithm: name.to_string(),
                 mse,
                 std,
             });
         }
+        Ok(())
     }
-    out
+}
+
+/// The Hist panel (Figures 8b/8f, 9b/9f): the identity workload on
+/// datasets A–G under `G¹_k`.
+pub fn hist_panel(cfg: &Config) -> Result<Vec<Measurement>, BenchError> {
+    let eps = cfg.eps()?;
+    let mut out = Vec::new();
+    for id in DatasetId::one_dimensional() {
+        let x = dataset(id);
+        let truth = x.counts().to_vec();
+        let session = Session::with_policy(x.domain().clone(), Policy::Theta1d { theta: 1 }, eps)?;
+        PanelColumn {
+            session: &session,
+            task: Task::Histogram,
+            x: &x,
+            truth: &truth,
+            column: id.name(),
+            trials: cfg.trials,
+            seed_base: cfg.seed ^ hash(id.name()),
+        }
+        .run(|est| Ok(est.histogram().to_vec()), &mut out)?;
+    }
+    Ok(out)
 }
 
 /// The 1D-Range panel (Figures 8c/8g, 9c/9g): random 1-D ranges on A–G
 /// under `G¹_k`.
-pub fn range1d_panel(cfg: &Config) -> Vec<Measurement> {
-    let eps = cfg.eps();
-    let eps2 = cfg.eps_half();
+pub fn range1d_panel(cfg: &Config) -> Result<Vec<Measurement>, BenchError> {
+    let eps = cfg.eps()?;
     let mut out = Vec::new();
     for id in DatasetId::one_dimensional() {
         let x = dataset(id);
         let d = Domain::one_dim(x.len());
         let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0xABCD);
         let specs = blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
-        let truth = true_ranges_1d(&x, &specs).expect("truth");
-        let algorithms: Vec<(&str, Estimator)> = vec![
-            (
-                "Privelet",
-                Box::new(move |x, rng| dp_privelet_1d(x, eps2, rng).expect("privelet")),
-            ),
-            (
-                "Dawa",
-                Box::new(move |x, rng| dp_dawa_1d(x, eps2, rng).expect("dawa")),
-            ),
-            (
-                "Transformed + Laplace",
-                Box::new(move |x, rng| {
-                    line_blowfish_histogram(x, eps, TreeEstimator::Laplace, rng).expect("t+l")
-                }),
-            ),
-            (
-                "Transformed + ConsistentEst",
-                Box::new(move |x, rng| {
-                    line_blowfish_histogram(x, eps, TreeEstimator::LaplaceConsistent, rng)
-                        .expect("t+c")
-                }),
-            ),
-            (
-                "Trans + Dawa + Cons",
-                Box::new(move |x, rng| {
-                    line_blowfish_histogram(x, eps, TreeEstimator::DawaConsistent, rng)
-                        .expect("t+d+c")
-                }),
-            ),
-        ];
-        for (name, mut est) in algorithms {
-            let (mse, std) = run_cell(
-                &x,
-                &truth,
-                |h| answer_ranges_1d(h, &specs).expect("answers"),
-                &mut est,
-                cfg.trials,
-                cfg.seed ^ hash(name) ^ hash(id.name()),
-            );
-            out.push(Measurement {
-                column: id.name().to_string(),
-                algorithm: name.to_string(),
-                mse,
-                std,
-            });
+        let truth = true_ranges_1d(&x, &specs)?;
+        let session = Session::with_policy(d, Policy::Theta1d { theta: 1 }, eps)?;
+        PanelColumn {
+            session: &session,
+            task: Task::Range1d,
+            x: &x,
+            truth: &truth,
+            column: id.name(),
+            trials: cfg.trials,
+            seed_base: cfg.seed ^ hash(id.name()),
         }
+        .run(|est| Ok(est.answer_all(&specs)?), &mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// The `G⁴_k` panel (Figures 8d/8h, 9d/9h): dataset D aggregated to
 /// domain sizes 512–4096, random 1-D ranges.
-pub fn theta_panel(cfg: &Config) -> Vec<Measurement> {
-    let eps = cfg.eps();
-    let eps2 = cfg.eps_half();
+pub fn theta_panel(cfg: &Config) -> Result<Vec<Measurement>, BenchError> {
+    let eps = cfg.eps()?;
     let base = dataset(DatasetId::D);
     let mut out = Vec::new();
     for k in [512usize, 1024, 2048, 4096] {
         let x = if k == 4096 {
             base.clone()
         } else {
-            aggregate_1d(&base, k).expect("divisible")
+            aggregate_1d(&base, k)?
         };
-        let strat = ThetaLineStrategy::new(k, 4).expect("k > θ");
         let d = Domain::one_dim(k);
         let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0xDCBA ^ k as u64);
         let specs = blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
-        let truth = true_ranges_1d(&x, &specs).expect("truth");
-        let strat_ref = &strat;
-        let algorithms: Vec<(&str, Estimator)> = vec![
-            (
-                "Privelet",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    dp_privelet_1d(x, eps2, rng).expect("privelet")
-                }),
-            ),
-            (
-                "Dawa",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    dp_dawa_1d(x, eps2, rng).expect("dawa")
-                }),
-            ),
-            (
-                "Transformed + Laplace",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    strat_ref
-                        .histogram(x, eps, ThetaEstimator::Laplace, rng)
-                        .expect("t+l")
-                }),
-            ),
-            (
-                "Trans + Dawa",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    strat_ref
-                        .histogram(x, eps, ThetaEstimator::Dawa, rng)
-                        .expect("t+d")
-                }),
-            ),
-        ];
-        for (name, mut est) in algorithms {
-            let (mse, std) = run_cell(
-                &x,
-                &truth,
-                |h| answer_ranges_1d(h, &specs).expect("answers"),
-                &mut est,
-                cfg.trials,
-                cfg.seed ^ hash(name) ^ k as u64,
-            );
-            out.push(Measurement {
-                column: k.to_string(),
-                algorithm: name.to_string(),
-                mse,
-                std,
-            });
+        let truth = true_ranges_1d(&x, &specs)?;
+        let session = Session::with_policy(d, Policy::Theta1d { theta: 4 }, eps)?;
+        PanelColumn {
+            session: &session,
+            task: Task::Range1d,
+            x: &x,
+            truth: &truth,
+            column: &k.to_string(),
+            trials: cfg.trials,
+            seed_base: cfg.seed ^ k as u64,
         }
+        .run(|est| Ok(est.answer_all(&specs)?), &mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// The 2D-Range panel (Figures 8a/8e, 9a/9e): random 2-D ranges on the
 /// tweet grids under `G¹_{k²}`.
-pub fn range2d_panel(cfg: &Config) -> Vec<Measurement> {
-    let eps = cfg.eps();
-    let eps2 = cfg.eps_half();
+pub fn range2d_panel(cfg: &Config) -> Result<Vec<Measurement>, BenchError> {
+    let eps = cfg.eps()?;
     let mut out = Vec::new();
     for id in DatasetId::two_dimensional() {
         let x = dataset(id);
@@ -273,45 +232,20 @@ pub fn range2d_panel(cfg: &Config) -> Vec<Measurement> {
         let d = Domain::square(k);
         let mut qrng = StdRng::seed_from_u64(cfg.seed ^ 0x2D2D ^ k as u64);
         let specs: Vec<RangeQuery> = blowfish_core::random_range_specs(&d, cfg.queries, &mut qrng);
-        let truth = true_ranges_2d(&x, &specs).expect("truth");
-        let algorithms: Vec<(&str, Estimator)> = vec![
-            (
-                "Privelet",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    dp_privelet_nd(x, eps2, rng).expect("privelet")
-                }),
-            ),
-            (
-                "Dawa",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    dp_dawa_2d(x, eps2, rng).expect("dawa")
-                }),
-            ),
-            (
-                "Transformed + Privelet",
-                Box::new(move |x: &DataVector, rng: &mut StdRng| {
-                    grid_blowfish_histogram(x, eps, rng).expect("t+p")
-                }),
-            ),
-        ];
-        for (name, mut est) in algorithms {
-            let (mse, std) = run_cell(
-                &x,
-                &truth,
-                |h| answer_ranges_2d(h, k, k, &specs).expect("answers"),
-                &mut est,
-                cfg.trials,
-                cfg.seed ^ hash(name) ^ k as u64,
-            );
-            out.push(Measurement {
-                column: id.name().to_string(),
-                algorithm: name.to_string(),
-                mse,
-                std,
-            });
+        let truth = true_ranges_2d(&x, &specs)?;
+        let session = Session::with_policy(d, Policy::Theta2d { theta: 1 }, eps)?;
+        PanelColumn {
+            session: &session,
+            task: Task::Range2d,
+            x: &x,
+            truth: &truth,
+            column: id.name(),
+            trials: cfg.trials,
+            seed_base: cfg.seed ^ k as u64,
         }
+        .run(|est| Ok(est.answer_all(&specs)?), &mut out)?;
     }
-    out
+    Ok(out)
 }
 
 /// Small deterministic string hash for seed derivation.
@@ -334,10 +268,14 @@ pub fn panel_description(name: &str, cfg: &Config) -> String {
 
 /// Convenience: the Workload object (not used in the hot loops, which go
 /// through prefix sums, but exported for tests and examples).
-pub fn random_workload_1d(k: usize, queries: usize, seed: u64) -> (Workload, Vec<RangeQuery>) {
+pub fn random_workload_1d(
+    k: usize,
+    queries: usize,
+    seed: u64,
+) -> Result<(Workload, Vec<RangeQuery>), BenchError> {
     let d = Domain::one_dim(k);
     let mut rng = StdRng::seed_from_u64(seed);
-    Workload::random_ranges(&d, queries, &mut rng).expect("valid domain")
+    Ok(Workload::random_ranges(&d, queries, &mut rng)?)
 }
 
 #[cfg(test)]
@@ -355,7 +293,7 @@ mod tests {
 
     #[test]
     fn hist_panel_shape() {
-        let rows = hist_panel(&tiny());
+        let rows = hist_panel(&tiny()).unwrap();
         // 7 datasets × 5 algorithms.
         assert_eq!(rows.len(), 35);
         assert!(rows.iter().all(|m| m.mse.is_finite() && m.mse >= 0.0));
@@ -363,13 +301,13 @@ mod tests {
 
     #[test]
     fn range1d_panel_shape() {
-        let rows = range1d_panel(&tiny());
+        let rows = range1d_panel(&tiny()).unwrap();
         assert_eq!(rows.len(), 35);
     }
 
     #[test]
     fn theta_panel_shape() {
-        let rows = theta_panel(&tiny());
+        let rows = theta_panel(&tiny()).unwrap();
         // 4 domain sizes × 4 algorithms.
         assert_eq!(rows.len(), 16);
     }
@@ -378,16 +316,26 @@ mod tests {
     fn range2d_panel_shape() {
         let mut cfg = tiny();
         cfg.queries = 30;
-        let rows = range2d_panel(&cfg);
+        let rows = range2d_panel(&cfg).unwrap();
         // 3 datasets × 3 algorithms.
         assert_eq!(rows.len(), 9);
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = tiny();
+        cfg.epsilon = -1.0;
+        assert!(hist_panel(&cfg).is_err());
+        let mut cfg = tiny();
+        cfg.trials = 0;
+        assert!(range1d_panel(&cfg).is_err());
     }
 
     #[test]
     fn helpers() {
         let cfg = tiny();
         assert!(panel_description("Hist", &cfg).contains("ε=1"));
-        let (w, specs) = random_workload_1d(16, 5, 3);
+        let (w, specs) = random_workload_1d(16, 5, 3).unwrap();
         assert_eq!(w.len(), 5);
         assert_eq!(specs.len(), 5);
         assert_ne!(hash("a"), hash("b"));

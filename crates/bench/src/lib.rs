@@ -18,11 +18,13 @@
 //! Each binary accepts `--trials N` and `--queries N` to trade fidelity
 //! for speed; defaults follow the paper (5 trials, 10,000 queries).
 
+pub mod error;
 pub mod experiments;
 pub mod report;
 
+pub use error::BenchError;
 pub use experiments::{
-    hist_panel, panel_description, range1d_panel, range2d_panel, theta_panel, Config,
+    hist_panel, measure_bench, panel_description, range1d_panel, range2d_panel, theta_panel, Config,
 };
 pub use report::{print_panel, print_ratio, sci, Measurement};
 

@@ -1,0 +1,137 @@
+//! # blowfish-engine
+//!
+//! The plan-once/serve-many engine layer of the `blowfish-privacy`
+//! workspace: one uniform entry point to every baseline and policy-aware
+//! strategy, with per-policy artifacts planned once and served many
+//! times.
+//!
+//! Transformational equivalence (Section 4 of *Haney, Machanavajjhala &
+//! Ding, VLDB 2015*) makes every DP algorithm a candidate policy-aware
+//! strategy — but the expensive parts (the incidence matrix `P_G`, the
+//! `H^θ` spanners with certified stretch, Haar wavelet plans,
+//! matrix-mechanism pseudoinverses `A⁺`) depend only on `(domain,
+//! policy)`, not on the data. This crate splits the two:
+//!
+//! * [`MechanismSpec`] — the registry: every baseline and Blowfish
+//!   strategy enumerable by stable id and figure-legend label.
+//! * [`PlanCache`] — derives each artifact exactly once, with build
+//!   counters ([`plan::PlanStats`]) proving nothing is re-derived on the
+//!   serve path.
+//! * [`Session`] — binds `(Domain, policy, ε)`, classifies the policy
+//!   graph ([`Policy::from_graph`]), memoizes mechanisms, and plans the
+//!   paper-recommended strategy per [`Task`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph};
+//! use blowfish_engine::{Session, Task};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Plan once: a session for the line policy over 16 salary bins.
+//! let graph = PolicyGraph::line(16).unwrap();
+//! let session = Session::new(&graph, Epsilon::new(0.5).unwrap()).unwrap();
+//! let plan = session.plan(Task::Range1d).unwrap();
+//!
+//! // Serve many: fit produces an Estimate answering ranges in O(1) each.
+//! let x = DataVector::new(
+//!     Domain::one_dim(16),
+//!     vec![5., 9., 14., 21., 30., 41., 33., 25., 18., 12., 8., 5., 3., 2., 1., 1.],
+//! ).unwrap();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let estimate = plan.fit(&x, &mut rng).unwrap();
+//! let q = blowfish_core::RangeQuery::one_dim(x.domain(), 3, 9).unwrap();
+//! assert!(estimate.answer(&q).unwrap().is_finite());
+//!
+//! // The full Figure 8 lineup for this policy, by name.
+//! let lineup = session.registry(Task::Range1d).unwrap();
+//! assert_eq!(lineup.len(), 5);
+//! ```
+
+pub mod plan;
+pub mod session;
+pub mod spec;
+
+pub use plan::{PlanCache, PlanStats};
+pub use session::{Plan, Policy, Session};
+pub use spec::{MechanismSpec, Task};
+
+use blowfish_core::CoreError;
+use blowfish_mechanisms::MechanismError;
+use blowfish_strategies::StrategyError;
+
+/// Errors reported by the engine layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The policy graph (or policy/task combination) has no registered
+    /// strategy.
+    UnsupportedPolicy {
+        /// What was unsupported.
+        what: &'static str,
+    },
+    /// An error from the strategies crate.
+    Strategy(StrategyError),
+    /// An error from the core crate.
+    Core(CoreError),
+    /// An error from a mechanism substrate.
+    Mechanism(MechanismError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnsupportedPolicy { what } => write!(f, "unsupported policy: {what}"),
+            EngineError::Strategy(e) => write!(f, "strategy error: {e}"),
+            EngineError::Core(e) => write!(f, "core error: {e}"),
+            EngineError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Strategy(e) => Some(e),
+            EngineError::Core(e) => Some(e),
+            EngineError::Mechanism(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StrategyError> for EngineError {
+    fn from(e: StrategyError) -> Self {
+        EngineError::Strategy(e)
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<MechanismError> for EngineError {
+    fn from(e: MechanismError) -> Self {
+        EngineError::Mechanism(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_sources() {
+        let e = EngineError::UnsupportedPolicy { what: "test" };
+        assert!(e.to_string().contains("test"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: EngineError = StrategyError::BadQuery { what: "q" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: EngineError = CoreError::EmptyDomain.into();
+        assert!(e.to_string().contains("core"));
+        let e: EngineError = MechanismError::StrategyDoesNotSupportWorkload.into();
+        assert!(e.to_string().contains("mechanism"));
+    }
+}

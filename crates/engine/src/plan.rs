@@ -1,0 +1,250 @@
+//! The plan cache: per-policy artifacts derived once, served many times.
+//!
+//! Every policy-aware strategy leans on artifacts that are pure functions
+//! of `(domain, policy)` — the incidence matrix `P_G`, the `H^θ` spanners
+//! with their certified stretch, Haar wavelet plans, matrix-mechanism
+//! pseudoinverses `A⁺`. Before the engine existed each invocation
+//! re-derived them; a [`PlanCache`] materializes each artifact exactly
+//! once and hands out `Arc` clones across fits, trials, and mechanisms.
+//!
+//! Build counts are tracked in [`PlanStats`] so callers (tests, the
+//! `engine` criterion bench) can *prove* the cache is not silently
+//! re-deriving artifacts on the hot path.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use blowfish_core::{Incidence, PolicyGraph};
+use blowfish_mechanisms::{MatrixMechanism, MechanismError};
+use blowfish_strategies::{GridPlans, ThetaGridStrategy, ThetaLineStrategy};
+
+use crate::EngineError;
+
+/// Monotone counters of how many times each artifact class was actually
+/// derived (not served from cache).
+#[derive(Debug, Default)]
+pub struct PlanStats {
+    incidence: AtomicUsize,
+    theta_line: AtomicUsize,
+    theta_grid: AtomicUsize,
+    haar: AtomicUsize,
+    pseudoinverse: AtomicUsize,
+}
+
+impl PlanStats {
+    /// Incidence matrices (`P_G`) built.
+    pub fn incidence_builds(&self) -> usize {
+        self.incidence.load(Ordering::Relaxed)
+    }
+
+    /// θ-line strategies (spanner + incidence + group Haar plans) built.
+    pub fn theta_line_builds(&self) -> usize {
+        self.theta_line.load(Ordering::Relaxed)
+    }
+
+    /// θ-grid strategies (block geometry + certified stretch) built.
+    pub fn theta_grid_builds(&self) -> usize {
+        self.theta_grid.load(Ordering::Relaxed)
+    }
+
+    /// Grid Haar plan pairs built.
+    pub fn haar_plan_builds(&self) -> usize {
+        self.haar.load(Ordering::Relaxed)
+    }
+
+    /// Matrix-mechanism pseudoinverses (`A⁺`) built.
+    pub fn pseudoinverse_builds(&self) -> usize {
+        self.pseudoinverse.load(Ordering::Relaxed)
+    }
+
+    /// Total artifact derivations across all classes.
+    pub fn total_builds(&self) -> usize {
+        self.incidence_builds()
+            + self.theta_line_builds()
+            + self.theta_grid_builds()
+            + self.haar_plan_builds()
+            + self.pseudoinverse_builds()
+    }
+}
+
+/// Shared, thread-safe store of precomputed strategy artifacts for one
+/// `(domain, policy)` pair.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// Incidences keyed by their policy graph (linear scan: a cache sees
+    /// one, rarely a few, graphs over its lifetime).
+    incidence: Mutex<Vec<(PolicyGraph, Arc<Incidence>)>>,
+    theta_line: Mutex<HashMap<(usize, usize), Arc<ThetaLineStrategy>>>,
+    theta_grid: Mutex<HashMap<(usize, usize), Arc<ThetaGridStrategy>>>,
+    grid_plans: Mutex<HashMap<(usize, usize), GridPlans>>,
+    matrix: Mutex<HashMap<String, Arc<MatrixMechanism>>>,
+    stats: PlanStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The artifact build counters.
+    pub fn stats(&self) -> &PlanStats {
+        &self.stats
+    }
+
+    /// The incidence matrix `P_G` of `graph`, derived at most once per
+    /// distinct graph.
+    pub fn incidence(&self, graph: &PolicyGraph) -> Result<Arc<Incidence>, EngineError> {
+        let mut slots = self.incidence.lock().expect("plan cache lock");
+        if let Some((_, inc)) = slots.iter().find(|(g, _)| g == graph) {
+            return Ok(Arc::clone(inc));
+        }
+        let inc = Arc::new(Incidence::new(graph)?);
+        self.stats.incidence.fetch_add(1, Ordering::Relaxed);
+        slots.push((graph.clone(), Arc::clone(&inc)));
+        Ok(inc)
+    }
+
+    /// Stores an incidence that was already derived elsewhere (e.g. while
+    /// classifying the policy graph), counting the derivation, so the
+    /// first mechanism build does not repeat it.
+    pub(crate) fn seed_incidence(&self, graph: &PolicyGraph, inc: Arc<Incidence>) {
+        let mut slots = self.incidence.lock().expect("plan cache lock");
+        if slots.iter().any(|(g, _)| g == graph) {
+            return;
+        }
+        self.stats.incidence.fetch_add(1, Ordering::Relaxed);
+        slots.push((graph.clone(), inc));
+    }
+
+    /// The prepared `G^θ_k` strategy (spanner, incidence, group Haar
+    /// plans), derived at most once per `(k, θ)`.
+    pub fn theta_line_strategy(
+        &self,
+        k: usize,
+        theta: usize,
+    ) -> Result<Arc<ThetaLineStrategy>, EngineError> {
+        let mut map = self.theta_line.lock().expect("plan cache lock");
+        if let Some(s) = map.get(&(k, theta)) {
+            return Ok(Arc::clone(s));
+        }
+        let s = Arc::new(ThetaLineStrategy::new(k, theta)?);
+        self.stats.theta_line.fetch_add(1, Ordering::Relaxed);
+        map.insert((k, theta), Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// The prepared `G^θ_{k²}` strategy, derived at most once per
+    /// `(k, θ)`.
+    pub fn theta_grid_strategy(
+        &self,
+        k: usize,
+        theta: usize,
+    ) -> Result<Arc<ThetaGridStrategy>, EngineError> {
+        let mut map = self.theta_grid.lock().expect("plan cache lock");
+        if let Some(s) = map.get(&(k, theta)) {
+            return Ok(Arc::clone(s));
+        }
+        let s = Arc::new(ThetaGridStrategy::new(k, theta)?);
+        self.stats.theta_grid.fetch_add(1, Ordering::Relaxed);
+        map.insert((k, theta), Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// The Haar plan pair for a `rows × cols` grid strategy, derived at
+    /// most once per shape.
+    pub fn grid_plans(&self, rows: usize, cols: usize) -> Result<GridPlans, EngineError> {
+        let mut map = self.grid_plans.lock().expect("plan cache lock");
+        if let Some(p) = map.get(&(rows, cols)) {
+            return Ok(p.clone());
+        }
+        let p = GridPlans::new(rows, cols)?;
+        self.stats.haar.fetch_add(1, Ordering::Relaxed);
+        map.insert((rows, cols), p.clone());
+        Ok(p)
+    }
+
+    /// A prepared matrix mechanism (workload, strategy, pseudoinverse
+    /// `A⁺`) under a caller-chosen key, derived at most once per key.
+    pub fn matrix_mechanism<F>(
+        &self,
+        key: &str,
+        build: F,
+    ) -> Result<Arc<MatrixMechanism>, EngineError>
+    where
+        F: FnOnce() -> Result<MatrixMechanism, MechanismError>,
+    {
+        let mut map = self.matrix.lock().expect("plan cache lock");
+        if let Some(m) = map.get(key) {
+            return Ok(Arc::clone(m));
+        }
+        let m = Arc::new(build()?);
+        self.stats.pseudoinverse.fetch_add(1, Ordering::Relaxed);
+        map.insert(key.to_string(), Arc::clone(&m));
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blowfish_linalg::Matrix;
+    use blowfish_mechanisms::identity_strategy;
+
+    #[test]
+    fn artifacts_are_derived_once() {
+        let cache = PlanCache::new();
+        let g = PolicyGraph::line(16).unwrap();
+        for _ in 0..5 {
+            cache.incidence(&g).unwrap();
+            cache.theta_line_strategy(64, 4).unwrap();
+            cache.theta_grid_strategy(8, 4).unwrap();
+            cache.grid_plans(8, 8).unwrap();
+        }
+        assert_eq!(cache.stats().incidence_builds(), 1);
+        assert_eq!(cache.stats().theta_line_builds(), 1);
+        assert_eq!(cache.stats().theta_grid_builds(), 1);
+        assert_eq!(cache.stats().haar_plan_builds(), 1);
+        // A different (k, θ) is a distinct artifact.
+        cache.theta_line_strategy(64, 8).unwrap();
+        assert_eq!(cache.stats().theta_line_builds(), 2);
+        assert_eq!(cache.stats().total_builds(), 5);
+    }
+
+    #[test]
+    fn incidence_is_keyed_by_graph() {
+        // Asking for a different policy graph must not serve the first
+        // graph's incidence (that would be privacy-unsound).
+        let cache = PlanCache::new();
+        let line = PolicyGraph::line(8).unwrap();
+        let star = PolicyGraph::star(8).unwrap();
+        let a = cache.incidence(&line).unwrap();
+        let b = cache.incidence(&star).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.num_edges(), 7);
+        assert_eq!(b.num_edges(), 8);
+        assert_eq!(cache.stats().incidence_builds(), 2);
+        // Seeding an already-derived incidence is idempotent per graph.
+        cache.seed_incidence(&line, Arc::clone(&a));
+        assert_eq!(cache.stats().incidence_builds(), 2);
+    }
+
+    #[test]
+    fn pseudoinverse_cached_by_key() {
+        let cache = PlanCache::new();
+        let build = || MatrixMechanism::new(Matrix::identity(4), identity_strategy(4));
+        let a = cache.matrix_mechanism("identity/4", build).unwrap();
+        let b = cache.matrix_mechanism("identity/4", build).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().pseudoinverse_builds(), 1);
+    }
+
+    #[test]
+    fn shared_strategy_instances() {
+        let cache = PlanCache::new();
+        let a = cache.theta_line_strategy(32, 4).unwrap();
+        let b = cache.theta_line_strategy(32, 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -1,0 +1,702 @@
+//! The plan-once/serve-many session layer.
+//!
+//! A [`Session`] binds `(Domain, policy, ε)` and owns a [`PlanCache`]:
+//! mechanisms requested through it share precomputed artifacts
+//! (incidence, spanners, Haar plans) and are themselves memoized, so a
+//! serving loop — or a five-trial experiment cell — pays the planning
+//! cost exactly once. The [`Session::plan`] planner picks the
+//! paper-recommended strategy for a task; [`Session::registry`] lists the
+//! full Figure 8/9 panel lineup for the session's policy.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rand::RngCore;
+
+use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph, Vtx};
+use blowfish_strategies::{
+    DawaBaseline1d, DawaBaseline2d, Estimate, GridMechanism, LaplaceBaseline, LineMechanism,
+    Mechanism, PriveletBaseline1d, PriveletBaselineNd, ThetaEstimator, ThetaGridMechanism,
+    ThetaLineMechanism, TreeEstimator, TreeMechanism,
+};
+
+use crate::plan::PlanCache;
+use crate::spec::{MechanismSpec, Task};
+use crate::EngineError;
+
+/// The policy family a session serves, as recognized by the planner.
+#[derive(Clone, Debug)]
+pub enum Policy {
+    /// `G^θ_k` over a 1-D domain; `θ = 1` is the line policy `G¹_k`.
+    Theta1d {
+        /// Distance threshold θ.
+        theta: usize,
+    },
+    /// `G^θ_{k²}` over a 2-D domain; `θ = 1` is the grid policy `G¹_{k²}`.
+    Theta2d {
+        /// Distance threshold θ.
+        theta: usize,
+    },
+    /// An arbitrary tree policy, served through its incidence matrix
+    /// (Theorem 4.3).
+    Tree {
+        /// The policy graph (shared with the plan cache).
+        graph: Arc<PolicyGraph>,
+    },
+}
+
+impl Policy {
+    /// Recognizes the policy family of a graph: distance-threshold
+    /// families by their edge structure, any other tree by connectivity.
+    /// Non-tree graphs outside the θ families are rejected — the engine
+    /// has no exact strategy for them (Theorem 4.4's negative result).
+    pub fn from_graph(graph: &PolicyGraph) -> Result<Policy, EngineError> {
+        classify_graph(graph).map(|(policy, _)| policy)
+    }
+
+    /// Human-readable family name.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::Theta1d { theta: 1 } => "G¹_k (line)".to_string(),
+            Policy::Theta1d { theta } => format!("G^{theta}_k"),
+            Policy::Theta2d { theta: 1 } => "G¹_{k²} (grid)".to_string(),
+            Policy::Theta2d { theta } => format!("G^{theta}_{{k²}}"),
+            Policy::Tree { graph } => format!("tree policy {}", graph.name()),
+        }
+    }
+}
+
+/// Recognizes a graph's policy family; for tree policies, also returns
+/// the incidence built during classification so callers (the session) can
+/// seed their plan cache instead of deriving `P_G` a second time.
+fn classify_graph(
+    graph: &PolicyGraph,
+) -> Result<(Policy, Option<Arc<blowfish_core::Incidence>>), EngineError> {
+    let domain = graph.domain();
+    let all_value_edges = graph.edges().iter().all(|e| !e.touches_bottom());
+    if all_value_edges && domain.num_dims() <= 2 && graph.num_edges() > 0 {
+        // Candidate θ: the largest L1 distance spanned by an edge.
+        let mut theta = 0usize;
+        for e in graph.edges() {
+            if let Vtx::Value(v) = e.v {
+                theta = theta.max(domain.l1_distance(e.u, v)?);
+            }
+        }
+        if theta > 0 && graph.num_edges() == expected_theta_edges(domain, theta) {
+            let policy = match domain.num_dims() {
+                1 => Policy::Theta1d { theta },
+                _ => Policy::Theta2d { theta },
+            };
+            return Ok((policy, None));
+        }
+    }
+    // Fall back to the generic tree machinery.
+    let inc = Arc::new(blowfish_core::Incidence::new(graph)?);
+    if inc.is_tree() {
+        let policy = Policy::Tree {
+            graph: Arc::new(graph.clone()),
+        };
+        return Ok((policy, Some(inc)));
+    }
+    Err(EngineError::UnsupportedPolicy {
+        what: "policy graph is neither a distance-threshold family nor a tree",
+    })
+}
+
+/// Number of edges of `G^θ` over `domain` (1-D or 2-D): for each
+/// canonical offset `δ` with `|δ|₁ ≤ θ`, the number of in-bounds
+/// placements.
+fn expected_theta_edges(domain: &Domain, theta: usize) -> usize {
+    let t = theta as isize;
+    match domain.num_dims() {
+        1 => {
+            let k = domain.dim(0) as isize;
+            (1..=t.min(k - 1)).map(|d| (k - d) as usize).sum()
+        }
+        2 => {
+            let (rows, cols) = (domain.dim(0) as isize, domain.dim(1) as isize);
+            let mut count = 0usize;
+            // Canonical offsets: first nonzero coordinate positive.
+            for dr in 0..=t {
+                let rem = t - dr;
+                let dc_range: Vec<isize> = if dr == 0 {
+                    (1..=rem).collect()
+                } else {
+                    (-rem..=rem).collect()
+                };
+                for dc in dc_range {
+                    if dr == 0 && dc == 0 {
+                        continue;
+                    }
+                    let fits_r = rows - dr;
+                    let fits_c = cols - dc.abs();
+                    if fits_r > 0 && fits_c > 0 {
+                        count += (fits_r * fits_c) as usize;
+                    }
+                }
+            }
+            count
+        }
+        _ => 0,
+    }
+}
+
+/// A planned strategy: the chosen spec plus its live mechanism, sharing
+/// the session's plan cache.
+#[derive(Clone)]
+pub struct Plan {
+    spec: MechanismSpec,
+    mechanism: Arc<dyn Mechanism>,
+}
+
+impl Plan {
+    /// The chosen spec.
+    pub fn spec(&self) -> &MechanismSpec {
+        &self.spec
+    }
+
+    /// The live mechanism.
+    pub fn mechanism(&self) -> &Arc<dyn Mechanism> {
+        &self.mechanism
+    }
+
+    /// Fits the planned mechanism to a database, producing a query-ready
+    /// [`Estimate`].
+    pub fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, EngineError> {
+        Ok(self.mechanism.fit(x, rng)?)
+    }
+}
+
+/// A plan-once/serve-many session over `(Domain, policy, ε)`.
+pub struct Session {
+    domain: Domain,
+    policy: Policy,
+    eps: Epsilon,
+    cache: Arc<PlanCache>,
+    mechanisms: Mutex<HashMap<String, Arc<dyn Mechanism>>>,
+}
+
+impl Session {
+    /// Opens a session for a policy graph, recognizing its family
+    /// ([`Policy::from_graph`]). For tree policies the incidence derived
+    /// during classification is seeded into the plan cache, so the first
+    /// mechanism build does not repeat it.
+    pub fn new(graph: &PolicyGraph, eps: Epsilon) -> Result<Self, EngineError> {
+        let (policy, incidence) = classify_graph(graph)?;
+        let session = Session::with_policy(graph.domain().clone(), policy, eps)?;
+        if let (Policy::Tree { graph }, Some(inc)) = (&session.policy, incidence) {
+            session.cache.seed_incidence(graph, inc);
+        }
+        Ok(session)
+    }
+
+    /// Opens a session for an already-classified policy family.
+    pub fn with_policy(domain: Domain, policy: Policy, eps: Epsilon) -> Result<Self, EngineError> {
+        match &policy {
+            Policy::Theta1d { theta } => {
+                if domain.num_dims() != 1 || *theta == 0 {
+                    return Err(EngineError::UnsupportedPolicy {
+                        what: "G^θ_k needs a 1-D domain and θ ≥ 1",
+                    });
+                }
+            }
+            Policy::Theta2d { theta } => {
+                if domain.num_dims() != 2 || *theta == 0 {
+                    return Err(EngineError::UnsupportedPolicy {
+                        what: "G^θ_{k²} needs a 2-D domain and θ ≥ 1",
+                    });
+                }
+            }
+            Policy::Tree { graph } => {
+                if graph.domain() != &domain {
+                    return Err(EngineError::UnsupportedPolicy {
+                        what: "tree policy graph domain does not match the session domain",
+                    });
+                }
+            }
+        }
+        Ok(Session {
+            domain,
+            policy,
+            eps,
+            cache: Arc::new(PlanCache::new()),
+            mechanisms: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The session domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The recognized policy family.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// The total Blowfish budget ε (baselines are served at ε/2).
+    pub fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    /// The shared artifact cache.
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The Figure 8/9 panel lineup for this session's policy and task:
+    /// ε/2-DP baselines followed by the `(ε, G)`-Blowfish strategies.
+    pub fn registry(&self, task: Task) -> Result<Vec<MechanismSpec>, EngineError> {
+        match (&self.policy, task) {
+            (Policy::Theta1d { theta: 1 }, Task::Histogram) => Ok(vec![
+                MechanismSpec::Laplace,
+                MechanismSpec::Dawa1d,
+                MechanismSpec::Line(TreeEstimator::Laplace),
+                MechanismSpec::Line(TreeEstimator::LaplaceConsistent),
+                MechanismSpec::Line(TreeEstimator::DawaConsistent),
+            ]),
+            (Policy::Theta1d { theta: 1 }, Task::Range1d) => Ok(vec![
+                MechanismSpec::Privelet1d,
+                MechanismSpec::Dawa1d,
+                MechanismSpec::Line(TreeEstimator::Laplace),
+                MechanismSpec::Line(TreeEstimator::LaplaceConsistent),
+                MechanismSpec::Line(TreeEstimator::DawaConsistent),
+            ]),
+            (Policy::Theta1d { theta }, Task::Histogram | Task::Range1d) => Ok(vec![
+                MechanismSpec::Privelet1d,
+                MechanismSpec::Dawa1d,
+                MechanismSpec::ThetaLine {
+                    theta: *theta,
+                    estimator: ThetaEstimator::Laplace,
+                },
+                MechanismSpec::ThetaLine {
+                    theta: *theta,
+                    estimator: ThetaEstimator::Dawa,
+                },
+            ]),
+            (Policy::Theta2d { theta: 1 }, Task::Histogram | Task::Range2d) => Ok(vec![
+                MechanismSpec::PriveletNd,
+                MechanismSpec::Dawa2d,
+                MechanismSpec::Grid,
+            ]),
+            (Policy::Theta2d { theta }, Task::Histogram | Task::Range2d) => Ok(vec![
+                MechanismSpec::PriveletNd,
+                MechanismSpec::Dawa2d,
+                MechanismSpec::ThetaGrid { theta: *theta },
+            ]),
+            (Policy::Tree { .. }, Task::Histogram | Task::Range1d) => Ok(vec![
+                MechanismSpec::Laplace,
+                MechanismSpec::Tree(TreeEstimator::Laplace),
+                MechanismSpec::Tree(TreeEstimator::Dawa),
+            ]),
+            _ => Err(EngineError::UnsupportedPolicy {
+                what: "no registry lineup for this (policy, task) combination",
+            }),
+        }
+    }
+
+    /// Plans the recommended strategy for a task: the paper's
+    /// best-default Blowfish mechanism for the session policy.
+    pub fn plan(&self, task: Task) -> Result<Plan, EngineError> {
+        let spec = match (&self.policy, task) {
+            // Algorithm 1 + isotonic consistency: the strongest default
+            // across the Figure 8 Hist/1D-Range panels.
+            (Policy::Theta1d { theta: 1 }, Task::Histogram | Task::Range1d) => {
+                MechanismSpec::Line(TreeEstimator::LaplaceConsistent)
+            }
+            // The ablations show plain Laplace beats GroupPrivelet at
+            // every practical θ (θ < log³θ crossover near 10³).
+            (Policy::Theta1d { theta }, Task::Histogram | Task::Range1d) => {
+                MechanismSpec::ThetaLine {
+                    theta: *theta,
+                    estimator: ThetaEstimator::Laplace,
+                }
+            }
+            (Policy::Theta2d { theta: 1 }, Task::Histogram | Task::Range2d) => MechanismSpec::Grid,
+            (Policy::Theta2d { theta }, Task::Histogram | Task::Range2d) => {
+                MechanismSpec::ThetaGrid { theta: *theta }
+            }
+            (Policy::Tree { .. }, Task::Histogram | Task::Range1d) => {
+                MechanismSpec::Tree(TreeEstimator::Laplace)
+            }
+            _ => {
+                return Err(EngineError::UnsupportedPolicy {
+                    what: "no planner default for this (policy, task) combination",
+                })
+            }
+        };
+        Ok(Plan {
+            spec,
+            mechanism: self.mechanism(&spec)?,
+        })
+    }
+
+    /// Builds (or returns the memoized) mechanism for a spec at the
+    /// session budget — Blowfish strategies at ε, baselines at the
+    /// Section 6 comparison budget ε/2.
+    pub fn mechanism(&self, spec: &MechanismSpec) -> Result<Arc<dyn Mechanism>, EngineError> {
+        let id = spec.id();
+        if let Some(m) = self.mechanisms.lock().expect("session lock").get(&id) {
+            return Ok(Arc::clone(m));
+        }
+        let eps = if spec.is_baseline() {
+            self.eps.half()
+        } else {
+            self.eps
+        };
+        let m = self.build(spec, eps)?;
+        self.mechanisms
+            .lock()
+            .expect("session lock")
+            .insert(id, Arc::clone(&m));
+        Ok(m)
+    }
+
+    /// Builds a mechanism for a spec at an explicit budget, bypassing the
+    /// baseline ε/2 convention and the memo (artifacts still come from
+    /// the shared cache). Used by equivalence tests and custom sweeps.
+    pub fn mechanism_at(
+        &self,
+        spec: &MechanismSpec,
+        eps: Epsilon,
+    ) -> Result<Arc<dyn Mechanism>, EngineError> {
+        self.build(spec, eps)
+    }
+
+    /// Rejects Blowfish specs whose guarantee does not *cover* the
+    /// session's policy: a `G^t` mechanism only protects pairs within
+    /// distance `t`, so serving it from a `G^s` session with `t < s` —
+    /// or from a tree-policy session, whose required pairs a θ-family
+    /// mechanism cannot be shown to cover — would silently
+    /// under-protect. Stronger (`t ≥ s`) is sound: the mechanism
+    /// protects a superset of the required pairs. DP baselines imply
+    /// every Blowfish policy and always pass; `Tree` specs are matched
+    /// against the session policy in `build()` itself.
+    fn check_spec_covers_policy(&self, spec: &MechanismSpec) -> Result<(), EngineError> {
+        let uncovered = Err(EngineError::UnsupportedPolicy {
+            what: "mechanism's policy guarantee does not cover the session policy",
+        });
+        match (spec, &self.policy) {
+            (
+                MechanismSpec::Laplace
+                | MechanismSpec::Privelet1d
+                | MechanismSpec::PriveletNd
+                | MechanismSpec::Dawa1d
+                | MechanismSpec::Dawa2d
+                | MechanismSpec::Tree(_),
+                _,
+            ) => Ok(()),
+            (MechanismSpec::Line(_), Policy::Theta1d { theta: 1 }) => Ok(()),
+            (MechanismSpec::ThetaLine { theta: t, .. }, Policy::Theta1d { theta: s }) if t >= s => {
+                Ok(())
+            }
+            (MechanismSpec::Grid, Policy::Theta2d { theta: 1 }) => Ok(()),
+            (MechanismSpec::ThetaGrid { theta: t }, Policy::Theta2d { theta: s }) if t >= s => {
+                Ok(())
+            }
+            _ => uncovered,
+        }
+    }
+
+    fn build(&self, spec: &MechanismSpec, eps: Epsilon) -> Result<Arc<dyn Mechanism>, EngineError> {
+        self.check_spec_covers_policy(spec)?;
+        let need_dims = |dims: usize, what: &'static str| -> Result<(), EngineError> {
+            if self.domain.num_dims() != dims {
+                return Err(EngineError::UnsupportedPolicy { what });
+            }
+            Ok(())
+        };
+        Ok(match spec {
+            MechanismSpec::Laplace => Arc::new(LaplaceBaseline::new(eps)),
+            MechanismSpec::Privelet1d => {
+                need_dims(1, "dp-privelet-1d needs a 1-D domain")?;
+                Arc::new(PriveletBaseline1d::new(eps))
+            }
+            MechanismSpec::PriveletNd => Arc::new(PriveletBaselineNd::new(eps)),
+            MechanismSpec::Dawa1d => {
+                need_dims(1, "dp-dawa-1d needs a 1-D domain")?;
+                Arc::new(DawaBaseline1d::new(eps))
+            }
+            MechanismSpec::Dawa2d => {
+                need_dims(2, "dp-dawa-2d needs a 2-D domain")?;
+                Arc::new(DawaBaseline2d::new(eps))
+            }
+            MechanismSpec::Line(estimator) => {
+                need_dims(1, "the line strategy needs a 1-D domain")?;
+                Arc::new(LineMechanism::new(eps, *estimator))
+            }
+            MechanismSpec::Tree(estimator) => {
+                let graph = match &self.policy {
+                    Policy::Tree { graph } => Arc::clone(graph),
+                    Policy::Theta1d { theta: 1 } => {
+                        Arc::new(PolicyGraph::line(self.domain.dim(0))?)
+                    }
+                    _ => {
+                        return Err(EngineError::UnsupportedPolicy {
+                            what: "the tree strategy needs a tree policy (or the line policy)",
+                        })
+                    }
+                };
+                let inc = self.cache.incidence(&graph)?;
+                Arc::new(TreeMechanism::new(inc, eps, *estimator)?)
+            }
+            MechanismSpec::ThetaLine { theta, estimator } => {
+                need_dims(1, "the θ-line strategy needs a 1-D domain")?;
+                let strat = self.cache.theta_line_strategy(self.domain.dim(0), *theta)?;
+                Arc::new(ThetaLineMechanism::new(strat, eps, *estimator))
+            }
+            MechanismSpec::Grid => {
+                need_dims(2, "the grid strategy needs a 2-D domain")?;
+                let plans = self
+                    .cache
+                    .grid_plans(self.domain.dim(0), self.domain.dim(1))?;
+                Arc::new(GridMechanism::with_plans(eps, plans))
+            }
+            MechanismSpec::ThetaGrid { theta } => {
+                need_dims(2, "the θ-grid strategy needs a 2-D domain")?;
+                if self.domain.dim(0) != self.domain.dim(1) {
+                    return Err(EngineError::UnsupportedPolicy {
+                        what: "the θ-grid strategy needs a square k × k domain",
+                    });
+                }
+                let strat = self.cache.theta_grid_strategy(self.domain.dim(0), *theta)?;
+                Arc::new(ThetaGridMechanism::new(strat, eps))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn policy_detection_theta_families() {
+        let line = PolicyGraph::line(32).unwrap();
+        assert!(matches!(
+            Policy::from_graph(&line).unwrap(),
+            Policy::Theta1d { theta: 1 }
+        ));
+        let g4 = PolicyGraph::theta_line(64, 4).unwrap();
+        assert!(matches!(
+            Policy::from_graph(&g4).unwrap(),
+            Policy::Theta1d { theta: 4 }
+        ));
+        let grid = PolicyGraph::distance_threshold(Domain::square(6), 1).unwrap();
+        assert!(matches!(
+            Policy::from_graph(&grid).unwrap(),
+            Policy::Theta2d { theta: 1 }
+        ));
+        let tgrid = PolicyGraph::distance_threshold(Domain::square(6), 3).unwrap();
+        assert!(matches!(
+            Policy::from_graph(&tgrid).unwrap(),
+            Policy::Theta2d { theta: 3 }
+        ));
+    }
+
+    #[test]
+    fn policy_detection_tree_and_rejection() {
+        let star = PolicyGraph::star(8).unwrap();
+        assert!(matches!(
+            Policy::from_graph(&star).unwrap(),
+            Policy::Tree { .. }
+        ));
+        // The cycle is not a θ family and not a tree.
+        let cycle = PolicyGraph::cycle(8).unwrap();
+        assert!(Policy::from_graph(&cycle).is_err());
+        // The complete graph K_k IS G^θ with θ = k−1.
+        let complete = PolicyGraph::complete(6).unwrap();
+        assert!(matches!(
+            Policy::from_graph(&complete).unwrap(),
+            Policy::Theta1d { theta: 5 }
+        ));
+    }
+
+    #[test]
+    fn expected_edge_counts_match_constructions() {
+        for (k, theta) in [(16usize, 1usize), (16, 3), (9, 8)] {
+            let g = PolicyGraph::theta_line(k, theta).unwrap();
+            assert_eq!(
+                g.num_edges(),
+                expected_theta_edges(&Domain::one_dim(k), theta),
+                "1-D k={k} θ={theta}"
+            );
+        }
+        for (k, theta) in [(5usize, 1usize), (5, 2), (6, 3)] {
+            let g = PolicyGraph::distance_threshold(Domain::square(k), theta).unwrap();
+            assert_eq!(
+                g.num_edges(),
+                expected_theta_edges(&Domain::square(k), theta),
+                "2-D k={k} θ={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_memoizes_mechanisms_and_artifacts() {
+        let g = PolicyGraph::theta_line(64, 4).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let s = Session::new(&g, eps).unwrap();
+        let spec = MechanismSpec::ThetaLine {
+            theta: 4,
+            estimator: ThetaEstimator::Laplace,
+        };
+        let m1 = s.mechanism(&spec).unwrap();
+        let m2 = s.mechanism(&spec).unwrap();
+        assert!(Arc::ptr_eq(&m1, &m2));
+        // Both θ estimators share one prepared strategy artifact.
+        s.mechanism(&MechanismSpec::ThetaLine {
+            theta: 4,
+            estimator: ThetaEstimator::Dawa,
+        })
+        .unwrap();
+        assert_eq!(s.cache().stats().theta_line_builds(), 1);
+        // Fits do not touch the artifact counters.
+        let x = DataVector::new(Domain::one_dim(64), vec![1.0; 64]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            m1.fit(&x, &mut rng).unwrap();
+        }
+        assert_eq!(s.cache().stats().total_builds(), 1);
+    }
+
+    #[test]
+    fn planner_defaults() {
+        let eps = Epsilon::new(0.5).unwrap();
+        let line = Session::new(&PolicyGraph::line(16).unwrap(), eps).unwrap();
+        assert_eq!(
+            *line.plan(Task::Range1d).unwrap().spec(),
+            MechanismSpec::Line(TreeEstimator::LaplaceConsistent)
+        );
+        assert!(line.plan(Task::Range2d).is_err());
+        let theta = Session::new(&PolicyGraph::theta_line(32, 4).unwrap(), eps).unwrap();
+        assert_eq!(
+            *theta.plan(Task::Histogram).unwrap().spec(),
+            MechanismSpec::ThetaLine {
+                theta: 4,
+                estimator: ThetaEstimator::Laplace
+            }
+        );
+        let grid =
+            Session::with_policy(Domain::square(8), Policy::Theta2d { theta: 1 }, eps).unwrap();
+        assert_eq!(
+            *grid.plan(Task::Range2d).unwrap().spec(),
+            MechanismSpec::Grid
+        );
+        // Plan end-to-end: fit + serve.
+        let x = DataVector::new(Domain::one_dim(16), vec![2.0; 16]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = line.plan(Task::Range1d).unwrap();
+        let est = plan.fit(&x, &mut rng).unwrap();
+        assert_eq!(est.histogram().len(), 16);
+    }
+
+    #[test]
+    fn registry_matches_panel_lineups() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let line = Session::new(&PolicyGraph::line(16).unwrap(), eps).unwrap();
+        let hist = line.registry(Task::Histogram).unwrap();
+        assert_eq!(hist.len(), 5);
+        assert_eq!(hist[0], MechanismSpec::Laplace);
+        let r1 = line.registry(Task::Range1d).unwrap();
+        assert_eq!(r1[0], MechanismSpec::Privelet1d);
+        let theta = Session::new(&PolicyGraph::theta_line(32, 4).unwrap(), eps).unwrap();
+        assert_eq!(theta.registry(Task::Range1d).unwrap().len(), 4);
+        let grid =
+            Session::with_policy(Domain::square(8), Policy::Theta2d { theta: 1 }, eps).unwrap();
+        let r2 = grid.registry(Task::Range2d).unwrap();
+        assert_eq!(
+            r2,
+            vec![
+                MechanismSpec::PriveletNd,
+                MechanismSpec::Dawa2d,
+                MechanismSpec::Grid
+            ]
+        );
+        assert!(grid.registry(Task::Range1d).is_err());
+    }
+
+    #[test]
+    fn baseline_budget_halving() {
+        // A baseline served by the session must match the free function
+        // at ε/2, not ε.
+        let eps = Epsilon::new(1.0).unwrap();
+        let s = Session::new(&PolicyGraph::line(16).unwrap(), eps).unwrap();
+        let x = DataVector::new(Domain::one_dim(16), vec![3.0; 16]).unwrap();
+        let m = s.mechanism(&MechanismSpec::Laplace).unwrap();
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let via_session = m.fit(&x, &mut a).unwrap().into_histogram();
+        let via_free = blowfish_strategies::dp_laplace(&x, eps.half(), &mut b).unwrap();
+        assert_eq!(via_session, via_free);
+    }
+
+    #[test]
+    fn weaker_specs_are_rejected() {
+        let eps = Epsilon::new(1.0).unwrap();
+        // G⁸ session: a G² mechanism under-protects; G⁸ and stronger pass.
+        let s = Session::new(&PolicyGraph::theta_line(64, 8).unwrap(), eps).unwrap();
+        let spec = |theta| MechanismSpec::ThetaLine {
+            theta,
+            estimator: ThetaEstimator::Laplace,
+        };
+        assert!(s.mechanism(&spec(2)).is_err());
+        assert!(s.mechanism(&spec(8)).is_ok());
+        assert!(s.mechanism(&spec(12)).is_ok());
+        assert!(s
+            .mechanism(&MechanismSpec::Line(TreeEstimator::Laplace))
+            .is_err());
+        // Baselines (ε/2-DP implies every policy) always pass.
+        assert!(s.mechanism(&MechanismSpec::Privelet1d).is_ok());
+        // A tree-policy session cannot be served by θ-family mechanisms:
+        // their guarantee cannot be shown to cover an arbitrary tree.
+        let t = Session::new(&PolicyGraph::star(8).unwrap(), eps).unwrap();
+        assert!(t
+            .mechanism(&MechanismSpec::Line(TreeEstimator::Laplace))
+            .is_err());
+        assert!(t.mechanism(&spec(2)).is_err());
+        assert!(t.mechanism(&MechanismSpec::Laplace).is_ok());
+        assert!(t
+            .mechanism(&MechanismSpec::Tree(TreeEstimator::Laplace))
+            .is_ok());
+        // 2-D: the G¹ grid strategy cannot serve a G³ session.
+        let g = Session::with_policy(Domain::square(6), Policy::Theta2d { theta: 3 }, eps).unwrap();
+        assert!(g.mechanism(&MechanismSpec::Grid).is_err());
+        assert!(g.mechanism(&MechanismSpec::ThetaGrid { theta: 4 }).is_ok());
+        assert!(g.mechanism(&MechanismSpec::ThetaGrid { theta: 2 }).is_err());
+    }
+
+    #[test]
+    fn tree_session_reuses_classification_incidence() {
+        let eps = Epsilon::new(1.0).unwrap();
+        let star = PolicyGraph::star(8).unwrap();
+        let s = Session::new(&star, eps).unwrap();
+        // Classification derived P_G once and seeded the cache.
+        assert_eq!(s.cache().stats().incidence_builds(), 1);
+        let m = s
+            .mechanism(&MechanismSpec::Tree(TreeEstimator::Laplace))
+            .unwrap();
+        assert_eq!(s.cache().stats().incidence_builds(), 1, "no re-derivation");
+        let x = DataVector::new(Domain::one_dim(8), vec![1.0; 8]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.fit(&x, &mut rng).unwrap().histogram().len(), 8);
+    }
+
+    #[test]
+    fn session_validation() {
+        let eps = Epsilon::new(1.0).unwrap();
+        assert!(
+            Session::with_policy(Domain::one_dim(8), Policy::Theta2d { theta: 1 }, eps).is_err()
+        );
+        assert!(
+            Session::with_policy(Domain::one_dim(8), Policy::Theta1d { theta: 0 }, eps).is_err()
+        );
+        let g = PolicyGraph::line(4).unwrap();
+        assert!(
+            Session::with_policy(Domain::one_dim(8), Policy::Tree { graph: Arc::new(g) }, eps)
+                .is_err()
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Consistency post-processing (Hay et al. [10]; Section 5.4.2).
+//! Consistency post-processing (Hay et al. \[10\]; Section 5.4.2).
 //!
 //! Under a tree policy, the transformed database `x_G = P_G⁻¹x` consists of
 //! prefix sums and is therefore *non-decreasing*. Post-processing the noisy

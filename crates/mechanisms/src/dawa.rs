@@ -1,4 +1,4 @@
-//! DAWA — the data- and workload-aware mechanism of Li, Hay & Miklau [14],
+//! DAWA — the data- and workload-aware mechanism of Li, Hay & Miklau \[14\],
 //! implemented exactly as the paper under reproduction describes it
 //! (Section 5.4.1):
 //!

@@ -1,4 +1,4 @@
-//! The hierarchical mechanism of Hay et al. [10].
+//! The hierarchical mechanism of Hay et al. \[10\].
 //!
 //! A binary interval tree over the domain: every node's count receives
 //! `Lap(h/ε)` noise (`h` = number of levels = sensitivity, since one record

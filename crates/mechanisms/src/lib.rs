@@ -6,17 +6,18 @@
 //! from scratch:
 //!
 //! * [`noise`] — seeded Laplace / two-sided-geometric samplers.
-//! * [`laplace`] — the Laplace mechanism (Theorem 2.1) with analytic error.
+//! * [`laplace`](mod@laplace) — the Laplace mechanism (Theorem 2.1) with
+//!   analytic error.
 //! * [`exponential`] — the exponential mechanism and the graph-distance
 //!   mechanism witnessing the Theorem 4.4 negative result.
-//! * [`matrix`] — the matrix mechanism framework (Li et al. [15], Eq. 2)
+//! * [`matrix`] — the matrix mechanism framework (Li et al. \[15\], Eq. 2)
 //!   with identity / hierarchical / wavelet strategy matrices.
-//! * [`hierarchical`] — the Hay et al. [10] binary-tree estimator with
+//! * [`hierarchical`] — the Hay et al. \[10\] binary-tree estimator with
 //!   weighted least-squares consistency.
-//! * [`privelet`] — Privelet [20]: Haar wavelet noise in 1 and d
+//! * [`privelet`] — Privelet \[20\]: Haar wavelet noise in 1 and d
 //!   dimensions (`O(log³k/ε²)` per range query), the paper's data-oblivious
 //!   DP baseline.
-//! * [`dawa`] — DAWA [14] in the three-step form the paper describes
+//! * [`dawa`] — DAWA \[14\] in the three-step form the paper describes
 //!   (private partition → noisy bucket totals → uniform spread), the
 //!   paper's data-dependent DP baseline.
 //! * [`consistency`] — isotonic regression (PAVA) for the
@@ -51,7 +52,7 @@ pub use matrix::{hierarchical_strategy, identity_strategy, wavelet_strategy, Mat
 pub use noise::{laplace, laplace_variance, laplace_vec, two_sided_geometric};
 pub use privelet::{
     haar_forward, haar_generalized_sensitivity, haar_inverse, haar_weights, privelet_histogram,
-    privelet_histogram_1d, privelet_range_error_order,
+    privelet_histogram_1d, privelet_histogram_planned, privelet_range_error_order, HaarPlan,
 };
 
 /// Errors reported by mechanism construction or execution.

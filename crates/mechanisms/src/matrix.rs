@@ -1,4 +1,4 @@
-//! The matrix mechanism framework (Li et al. [15]; Equation 2 of the paper).
+//! The matrix mechanism framework (Li et al. \[15\]; Equation 2 of the paper).
 //!
 //! `M_A(W, x) = Wx + W A⁺ · Lap(Δ_A/ε)^p`: answer a low-sensitivity
 //! *strategy* workload `A` with Laplace noise and reconstruct `W` from it.
@@ -127,7 +127,7 @@ pub fn identity_strategy(k: usize) -> Matrix {
     Matrix::identity(k)
 }
 
-/// The binary hierarchical strategy `H_k` [10]: one row per node of a
+/// The binary hierarchical strategy `H_k` \[10\]: one row per node of a
 /// binary interval tree over the (power-of-two padded) domain. Sensitivity
 /// is the tree height.
 pub fn hierarchical_strategy(k: usize) -> Matrix {
@@ -153,7 +153,7 @@ pub fn hierarchical_strategy(k: usize) -> Matrix {
     Matrix::from_rows(&rows).expect("rows share length k")
 }
 
-/// The Haar wavelet strategy `Y_k` (Privelet [20]) as an explicit matrix,
+/// The Haar wavelet strategy `Y_k` (Privelet \[20\]) as an explicit matrix,
 /// for small-domain matrix-mechanism experiments and the Figure-3
 /// ablations. Rows are the (unweighted) Haar basis functions.
 pub fn wavelet_strategy(k: usize) -> Matrix {

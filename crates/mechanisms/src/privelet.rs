@@ -1,5 +1,5 @@
 //! Privelet — differential privacy via Haar wavelet transforms
-//! (Xiao, Wang & Gehrke [20]).
+//! (Xiao, Wang & Gehrke \[20\]).
 //!
 //! The 1-D mechanism computes the Haar transform of the histogram, adds
 //! Laplace noise to each coefficient with scale inversely proportional to
@@ -84,6 +84,87 @@ pub fn haar_generalized_sensitivity(n: usize) -> f64 {
     1.0 + n.trailing_zeros() as f64
 }
 
+/// A reusable Privelet plan: padded shape, per-coefficient weights, and
+/// the generalized sensitivity ρ for a fixed histogram shape.
+///
+/// Deriving the weight tensor costs a full pass over the padded domain per
+/// axis; a plan computes it once so repeated releases over the same shape
+/// (trials, serving loops, per-row calls inside the grid strategies) skip
+/// the re-derivation. [`privelet_histogram`] remains a thin wrapper that
+/// builds a throwaway plan, and produces bit-identical output for a fixed
+/// seed.
+#[derive(Clone, Debug)]
+pub struct HaarPlan {
+    dims: Vec<usize>,
+    padded_dims: Vec<usize>,
+    /// Per-coefficient Privelet weights over the padded domain.
+    weights: Vec<f64>,
+    /// Generalized sensitivity `ρ = Π_axes (1 + log₂ k_axis)`.
+    rho: f64,
+    size: usize,
+    padded_size: usize,
+}
+
+impl HaarPlan {
+    /// Builds the plan for a row-major histogram with the given `dims`.
+    pub fn new(dims: &[usize]) -> Result<Self, MechanismError> {
+        if dims.is_empty() || dims.contains(&0) {
+            return Err(MechanismError::InvalidParameter {
+                what: "dims must be non-empty and positive",
+            });
+        }
+        let size: usize = dims.iter().product();
+        let padded_dims: Vec<usize> = dims.iter().map(|&d| d.next_power_of_two()).collect();
+        let padded_size: usize = padded_dims.iter().product();
+        // Accumulate per-cell weights axis by axis, in the same order the
+        // unplanned mechanism historically did, so values match exactly.
+        let mut weights = vec![1.0; padded_size];
+        let mut rho = 1.0;
+        for axis in 0..padded_dims.len() {
+            let n = padded_dims[axis];
+            rho *= haar_generalized_sensitivity(n);
+            let axis_w = haar_weights(n);
+            for_each_line(
+                &padded_dims,
+                axis,
+                |line_idx: &mut dyn FnMut(usize) -> usize| {
+                    for (i, w) in axis_w.iter().enumerate() {
+                        weights[line_idx(i)] *= w;
+                    }
+                },
+            );
+        }
+        Ok(HaarPlan {
+            dims: dims.to_vec(),
+            padded_dims,
+            weights,
+            rho,
+            size,
+            padded_size,
+        })
+    }
+
+    /// The histogram shape this plan serves.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The power-of-two padded shape the transform runs over.
+    pub fn padded_dims(&self) -> &[usize] {
+        &self.padded_dims
+    }
+
+    /// The generalized Haar sensitivity ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The per-coefficient weight tensor over the padded domain.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
 /// The 1-D Privelet mechanism: releases a noisy histogram whose range
 /// queries have `O(log³k/ε²)` error, under unbounded ε-DP.
 pub fn privelet_histogram_1d<R: Rng + ?Sized>(
@@ -96,59 +177,63 @@ pub fn privelet_histogram_1d<R: Rng + ?Sized>(
 
 /// The d-dimensional Privelet mechanism over a row-major histogram with
 /// the given `dims`. Pads every dimension to a power of two internally.
+///
+/// Thin wrapper building a throwaway [`HaarPlan`]; callers releasing many
+/// histograms over one shape should build the plan once and use
+/// [`privelet_histogram_planned`].
 pub fn privelet_histogram<R: Rng + ?Sized>(
     x: &[f64],
     dims: &[usize],
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, MechanismError> {
-    if dims.is_empty() || dims.contains(&0) {
-        return Err(MechanismError::InvalidParameter {
-            what: "dims must be non-empty and positive",
-        });
-    }
-    let size: usize = dims.iter().product();
-    if x.len() != size {
+    let plan = HaarPlan::new(dims)?;
+    privelet_histogram_planned(&plan, x, eps, rng)
+}
+
+/// Runs the Privelet mechanism against a prepared [`HaarPlan`], skipping
+/// the per-call weight/padding derivation. Bit-for-bit identical to
+/// [`privelet_histogram`] for the same seed.
+pub fn privelet_histogram_planned<R: Rng + ?Sized>(
+    plan: &HaarPlan,
+    x: &[f64],
+    eps: Epsilon,
+    rng: &mut R,
+) -> Result<Vec<f64>, MechanismError> {
+    if x.len() != plan.size {
         return Err(MechanismError::InvalidParameter {
             what: "histogram length must equal the product of dims",
         });
     }
-    let padded_dims: Vec<usize> = dims.iter().map(|&d| d.next_power_of_two()).collect();
-    let padded_size: usize = padded_dims.iter().product();
+    let dims = &plan.dims;
+    let padded_dims = &plan.padded_dims;
 
     // Copy into the padded row-major buffer.
-    let mut buf = vec![0.0; padded_size];
-    copy_block(x, dims, &mut buf, &padded_dims);
+    let mut buf = vec![0.0; plan.padded_size];
+    copy_block(x, dims, &mut buf, padded_dims);
 
-    // Forward transform along each axis, accumulating per-cell weights.
-    let mut weights = vec![1.0; padded_size];
-    let mut rho = 1.0;
+    // Forward transform along each axis (weights come from the plan).
     for axis in 0..padded_dims.len() {
         let n = padded_dims[axis];
-        rho *= haar_generalized_sensitivity(n);
-        let axis_w = haar_weights(n);
         for_each_line(
-            &padded_dims,
+            padded_dims,
             axis,
             |line_idx: &mut dyn FnMut(usize) -> usize| {
-                // Gather the line, transform, scatter back; multiply weights.
                 let mut line = vec![0.0; n];
                 for (i, v) in line.iter_mut().enumerate() {
                     *v = buf[line_idx(i)];
                 }
                 haar_forward(&mut line);
                 for (i, v) in line.into_iter().enumerate() {
-                    let p = line_idx(i);
-                    buf[p] = v;
-                    weights[p] *= axis_w[i];
+                    buf[line_idx(i)] = v;
                 }
             },
         );
     }
 
     // Noise each coefficient: Lap(ρ / (ε · weight)).
-    for (c, &w) in buf.iter_mut().zip(&weights) {
-        *c += laplace(rng, rho / (eps.value() * w));
+    for (c, &w) in buf.iter_mut().zip(&plan.weights) {
+        *c += laplace(rng, plan.rho / (eps.value() * w));
     }
 
     // Inverse transform along axes (order does not matter for a tensor
@@ -156,7 +241,7 @@ pub fn privelet_histogram<R: Rng + ?Sized>(
     for axis in (0..padded_dims.len()).rev() {
         let n = padded_dims[axis];
         for_each_line(
-            &padded_dims,
+            padded_dims,
             axis,
             |line_idx: &mut dyn FnMut(usize) -> usize| {
                 let mut line = vec![0.0; n];
@@ -172,8 +257,8 @@ pub fn privelet_histogram<R: Rng + ?Sized>(
     }
 
     // Truncate padding.
-    let mut out = vec![0.0; size];
-    copy_block(&buf, &padded_dims, &mut out, dims);
+    let mut out = vec![0.0; plan.size];
+    copy_block(&buf, padded_dims, &mut out, dims);
     Ok(out)
 }
 
@@ -391,5 +476,35 @@ mod tests {
     fn error_order_helper() {
         let eps = Epsilon::new(0.1).unwrap();
         assert!(privelet_range_error_order(4096, eps) > privelet_range_error_order(512, eps));
+    }
+
+    #[test]
+    fn planned_matches_unplanned_bit_for_bit() {
+        let eps = Epsilon::new(0.7).unwrap();
+        for dims in [vec![37usize], vec![8, 8], vec![5, 6]] {
+            let size: usize = dims.iter().product();
+            let x: Vec<f64> = (0..size).map(|i| ((i * 7) % 13) as f64).collect();
+            let plan = HaarPlan::new(&dims).unwrap();
+            let mut rng_a = StdRng::seed_from_u64(11);
+            let mut rng_b = StdRng::seed_from_u64(11);
+            let a = privelet_histogram(&x, &dims, eps, &mut rng_a).unwrap();
+            let b = privelet_histogram_planned(&plan, &x, eps, &mut rng_b).unwrap();
+            assert_eq!(a, b, "dims {dims:?}");
+        }
+    }
+
+    #[test]
+    fn plan_accessors_and_validation() {
+        let plan = HaarPlan::new(&[5, 6]).unwrap();
+        assert_eq!(plan.dims(), &[5, 6]);
+        assert_eq!(plan.padded_dims(), &[8, 8]);
+        assert_eq!(plan.rho(), 16.0);
+        assert_eq!(plan.weights().len(), 64);
+        assert!(HaarPlan::new(&[]).is_err());
+        assert!(HaarPlan::new(&[4, 0]).is_err());
+        // Wrong input length against a valid plan.
+        let eps = Epsilon::new(1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(privelet_histogram_planned(&plan, &[1.0; 4], eps, &mut rng).is_err());
     }
 }

@@ -9,78 +9,251 @@
 //! * **DAWA** — the data-dependent baseline, 1-D natively and 2-D via
 //!   row-major linearization (substitution documented in DESIGN.md §7).
 //!
-//! Each baseline returns a histogram estimate `x̂`; range answers come from
-//! [`crate::answering`].
+//! Each baseline is a [`Mechanism`] struct with its budget bound in; the
+//! historical free functions (`dp_laplace`, …) remain as thin wrappers and
+//! produce bit-identical output for a fixed seed. Range answers come from
+//! the fitted [`Estimate`] or [`crate::answering`].
 
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use blowfish_core::{DataVector, Epsilon};
 use blowfish_mechanisms::{
     dawa_histogram, laplace_histogram, privelet_histogram, privelet_histogram_1d, DawaOptions,
 };
 
+use crate::mechanism::{Estimate, Mechanism};
 use crate::StrategyError;
 
-/// ε-DP Laplace histogram baseline (sensitivity 1, unbounded DP).
+/// The ε-DP Laplace histogram baseline (sensitivity 1, unbounded DP).
+#[derive(Clone, Copy, Debug)]
+pub struct LaplaceBaseline {
+    eps: Epsilon,
+}
+
+impl LaplaceBaseline {
+    /// Binds the budget.
+    pub fn new(eps: Epsilon) -> Self {
+        LaplaceBaseline { eps }
+    }
+
+    /// Releases the noisy histogram (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        Ok(laplace_histogram(x.counts(), 1.0, self.eps, rng)?)
+    }
+}
+
+impl Mechanism for LaplaceBaseline {
+    fn name(&self) -> &str {
+        "Laplace"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// The ε-DP Privelet baseline over a 1-D domain.
+#[derive(Clone, Copy, Debug)]
+pub struct PriveletBaseline1d {
+    eps: Epsilon,
+}
+
+impl PriveletBaseline1d {
+    /// Binds the budget.
+    pub fn new(eps: Epsilon) -> Self {
+        PriveletBaseline1d { eps }
+    }
+
+    /// Releases the noisy histogram (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        Ok(privelet_histogram_1d(x.counts(), self.eps, rng)?)
+    }
+}
+
+impl Mechanism for PriveletBaseline1d {
+    fn name(&self) -> &str {
+        "Privelet"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// The ε-DP Privelet baseline over a multi-dimensional domain.
+#[derive(Clone, Copy, Debug)]
+pub struct PriveletBaselineNd {
+    eps: Epsilon,
+}
+
+impl PriveletBaselineNd {
+    /// Binds the budget.
+    pub fn new(eps: Epsilon) -> Self {
+        PriveletBaselineNd { eps }
+    }
+
+    /// Releases the noisy histogram (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        Ok(privelet_histogram(
+            x.counts(),
+            x.domain().dims(),
+            self.eps,
+            rng,
+        )?)
+    }
+}
+
+impl Mechanism for PriveletBaselineNd {
+    fn name(&self) -> &str {
+        "Privelet"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// The ε-DP DAWA baseline over a 1-D domain.
+#[derive(Clone, Copy, Debug)]
+pub struct DawaBaseline1d {
+    eps: Epsilon,
+}
+
+impl DawaBaseline1d {
+    /// Binds the budget.
+    pub fn new(eps: Epsilon) -> Self {
+        DawaBaseline1d { eps }
+    }
+
+    /// Releases the noisy histogram (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        Ok(dawa_histogram(
+            x.counts(),
+            self.eps,
+            DawaOptions::default(),
+            rng,
+        )?)
+    }
+}
+
+impl Mechanism for DawaBaseline1d {
+    fn name(&self) -> &str {
+        "Dawa"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// The ε-DP DAWA baseline over a 2-D domain via row-major linearization:
+/// the 1-D partition still discovers the long zero-runs of sparse geo
+/// grids, which is all the Figure 8a narrative requires.
+#[derive(Clone, Copy, Debug)]
+pub struct DawaBaseline2d {
+    eps: Epsilon,
+}
+
+impl DawaBaseline2d {
+    /// Binds the budget.
+    pub fn new(eps: Epsilon) -> Self {
+        DawaBaseline2d { eps }
+    }
+
+    /// Releases the noisy histogram (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        if x.domain().num_dims() != 2 {
+            return Err(StrategyError::BadQuery {
+                what: "dp_dawa_2d requires a two-dimensional domain",
+            });
+        }
+        Ok(dawa_histogram(
+            x.counts(),
+            self.eps,
+            DawaOptions::default(),
+            rng,
+        )?)
+    }
+}
+
+impl Mechanism for DawaBaseline2d {
+    fn name(&self) -> &str {
+        "Dawa"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// ε-DP Laplace histogram baseline — thin wrapper over
+/// [`LaplaceBaseline`].
 pub fn dp_laplace<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    Ok(laplace_histogram(x.counts(), 1.0, eps, rng)?)
+    LaplaceBaseline::new(eps).fit_histogram(x, rng)
 }
 
-/// ε-DP Privelet baseline over a 1-D domain.
+/// ε-DP Privelet baseline over a 1-D domain — thin wrapper over
+/// [`PriveletBaseline1d`].
 pub fn dp_privelet_1d<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    Ok(privelet_histogram_1d(x.counts(), eps, rng)?)
+    PriveletBaseline1d::new(eps).fit_histogram(x, rng)
 }
 
-/// ε-DP Privelet baseline over a multi-dimensional domain.
+/// ε-DP Privelet baseline over a multi-dimensional domain — thin wrapper
+/// over [`PriveletBaselineNd`].
 pub fn dp_privelet_nd<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    Ok(privelet_histogram(x.counts(), x.domain().dims(), eps, rng)?)
+    PriveletBaselineNd::new(eps).fit_histogram(x, rng)
 }
 
-/// ε-DP DAWA baseline over a 1-D domain.
+/// ε-DP DAWA baseline over a 1-D domain — thin wrapper over
+/// [`DawaBaseline1d`].
 pub fn dp_dawa_1d<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    Ok(dawa_histogram(
-        x.counts(),
-        eps,
-        DawaOptions::default(),
-        rng,
-    )?)
+    DawaBaseline1d::new(eps).fit_histogram(x, rng)
 }
 
-/// ε-DP DAWA baseline over a 2-D domain via row-major linearization: the
-/// 1-D partition still discovers the long zero-runs of sparse geo grids,
-/// which is all the Figure 8a narrative requires.
+/// ε-DP DAWA baseline over a 2-D domain — thin wrapper over
+/// [`DawaBaseline2d`].
 pub fn dp_dawa_2d<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    if x.domain().num_dims() != 2 {
-        return Err(StrategyError::BadQuery {
-            what: "dp_dawa_2d requires a two-dimensional domain",
-        });
-    }
-    Ok(dawa_histogram(
-        x.counts(),
-        eps,
-        DawaOptions::default(),
-        rng,
-    )?)
+    DawaBaseline2d::new(eps).fit_histogram(x, rng)
 }
 
 #[cfg(test)]
@@ -131,5 +304,18 @@ mod tests {
                 assert!((e - t).abs() < 5.0, "estimate {e} vs truth {t}");
             }
         }
+    }
+
+    #[test]
+    fn trait_fit_matches_free_function() {
+        let x = db_1d(vec![5.0; 16]);
+        let eps = Epsilon::new(0.5).unwrap();
+        let mech: &dyn Mechanism = &LaplaceBaseline::new(eps);
+        assert_eq!(mech.name(), "Laplace");
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let via_trait = mech.fit(&x, &mut a).unwrap().into_histogram();
+        let via_free = dp_laplace(&x, eps, &mut b).unwrap();
+        assert_eq!(via_trait, via_free);
     }
 }

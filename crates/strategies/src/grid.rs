@@ -18,33 +18,135 @@
 //! Case II corner reconstruction. Summing `x̂` over a box is then exactly
 //! the paper's 4-boundary-run answer (interior noise telescopes away).
 
-use rand::Rng;
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
 
 use blowfish_core::{DataVector, Epsilon};
-use blowfish_mechanisms::privelet_histogram_1d;
+use blowfish_mechanisms::{privelet_histogram_planned, HaarPlan};
 
+use crate::mechanism::{Estimate, Mechanism};
 use crate::StrategyError;
 
-/// The `(ε, G¹_{k²})`-Blowfish histogram estimate via per-edge-row
-/// Privelet (`Transformed + Privelet`). Works on any `rows × cols`
-/// two-dimensional domain with both sides ≥ 2.
+/// Prepared Haar plans for a `rows × cols` grid strategy: one per line
+/// direction, reusable across fits and trials.
+#[derive(Clone, Debug)]
+pub struct GridPlans {
+    rows: usize,
+    cols: usize,
+    /// Plan for the per-edge-row vertical estimates (lines of length `cols`).
+    row: Arc<HaarPlan>,
+    /// Plan for the per-edge-column horizontal estimates (lines of length `rows`).
+    col: Arc<HaarPlan>,
+}
+
+impl GridPlans {
+    /// Builds both direction plans for a `rows × cols` grid.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, StrategyError> {
+        Ok(GridPlans {
+            rows,
+            cols,
+            row: Arc::new(HaarPlan::new(&[cols])?),
+            col: Arc::new(HaarPlan::new(&[rows])?),
+        })
+    }
+
+    /// The grid shape these plans serve.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// The `(ε, G¹_{k²})`-Blowfish grid strategy (`Transformed + Privelet`,
+/// Theorem 5.4) as a [`Mechanism`]. Works on any `rows × cols`
+/// two-dimensional domain with both sides ≥ 2; optionally carries
+/// precomputed [`GridPlans`] so repeated fits skip the per-call Haar
+/// weight derivation.
+#[derive(Clone, Debug)]
+pub struct GridMechanism {
+    eps: Epsilon,
+    plans: Option<GridPlans>,
+}
+
+impl GridMechanism {
+    /// Binds the budget; plans are derived per fit.
+    pub fn new(eps: Epsilon) -> Self {
+        GridMechanism { eps, plans: None }
+    }
+
+    /// Binds the budget with precomputed plans (plan-once/serve-many).
+    pub fn with_plans(eps: Epsilon, plans: GridPlans) -> Self {
+        GridMechanism {
+            eps,
+            plans: Some(plans),
+        }
+    }
+
+    /// Releases the histogram estimate (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        let domain = x.domain();
+        if domain.num_dims() != 2 {
+            return Err(StrategyError::BadQuery {
+                what: "grid strategy requires a two-dimensional domain",
+            });
+        }
+        let (rows, cols) = (domain.dim(0), domain.dim(1));
+        if rows < 2 || cols < 2 {
+            return Err(StrategyError::BadQuery {
+                what: "grid strategy requires both dimensions ≥ 2",
+            });
+        }
+        let local_plans;
+        let plans = match &self.plans {
+            Some(p) => {
+                if p.shape() != (rows, cols) {
+                    return Err(StrategyError::BadQuery {
+                        what: "cached grid plans do not match the database shape",
+                    });
+                }
+                p
+            }
+            None => {
+                local_plans = GridPlans::new(rows, cols)?;
+                &local_plans
+            }
+        };
+        grid_histogram_impl(x, self.eps, plans, rng)
+    }
+}
+
+impl Mechanism for GridMechanism {
+    fn name(&self) -> &str {
+        "Transformed + Privelet"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// The `(ε, G¹_{k²})`-Blowfish histogram estimate — thin wrapper over
+/// [`GridMechanism`].
 pub fn grid_blowfish_histogram<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    let domain = x.domain();
-    if domain.num_dims() != 2 {
-        return Err(StrategyError::BadQuery {
-            what: "grid strategy requires a two-dimensional domain",
-        });
-    }
-    let (rows, cols) = (domain.dim(0), domain.dim(1));
-    if rows < 2 || cols < 2 {
-        return Err(StrategyError::BadQuery {
-            what: "grid strategy requires both dimensions ≥ 2",
-        });
-    }
+    GridMechanism::new(eps).fit_histogram(x, rng)
+}
+
+/// Shared strategy body against prepared plans.
+fn grid_histogram_impl<R: Rng + ?Sized>(
+    x: &DataVector,
+    eps: Epsilon,
+    plans: &GridPlans,
+    rng: &mut R,
+) -> Result<Vec<f64>, StrategyError> {
+    let (rows, cols) = plans.shape();
     let n = x.total();
     let at = |r: usize, c: usize| x.get(r * cols + c);
 
@@ -57,7 +159,12 @@ pub fn grid_blowfish_histogram<R: Rng + ?Sized>(
         for (j, cp) in col_prefix.iter_mut().enumerate() {
             *cp += at(i, j);
         }
-        v_est.push(privelet_histogram_1d(&col_prefix, eps, rng)?);
+        v_est.push(privelet_histogram_planned(
+            &plans.row,
+            &col_prefix,
+            eps,
+            rng,
+        )?);
     }
 
     // Horizontal edge between columns (j, j+1) in row i carries 0 except
@@ -69,7 +176,7 @@ pub fn grid_blowfish_histogram<R: Rng + ?Sized>(
         cum_total += (0..rows).map(|r| at(r, j)).sum::<f64>();
         let mut column = vec![0.0; rows];
         column[rows - 1] = cum_total;
-        h_est.push(privelet_histogram_1d(&column, eps, rng)?);
+        h_est.push(privelet_histogram_planned(&plans.col, &column, eps, rng)?);
     }
 
     // Map back: x̂(i, j) = Ṽ(i, j) − Ṽ(i−1, j) + H̃(i, j) − H̃(i, j−1)
@@ -257,5 +364,23 @@ mod tests {
     fn error_order_helper() {
         let eps = Epsilon::new(1.0).unwrap();
         assert!(grid_error_order(100, eps) > grid_error_order(25, eps));
+    }
+
+    #[test]
+    fn planned_mechanism_matches_free_function_bit_for_bit() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let x = grid_db(8, |r, c| ((r * 3 + c) % 5) as f64);
+        let eps = Epsilon::new(0.5).unwrap();
+        let planned = GridMechanism::with_plans(eps, GridPlans::new(8, 8).unwrap());
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let via_planned = planned.fit_histogram(&x, &mut a).unwrap();
+        let via_free = grid_blowfish_histogram(&x, eps, &mut b).unwrap();
+        assert_eq!(via_planned, via_free);
+        // Mismatched cached plans are rejected rather than silently wrong.
+        let wrong = GridMechanism::with_plans(eps, GridPlans::new(4, 4).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(wrong.fit_histogram(&x, &mut rng).is_err());
     }
 }

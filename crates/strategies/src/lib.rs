@@ -32,6 +32,7 @@ pub mod baselines;
 pub mod grid;
 pub mod line1d;
 pub mod lower_bounds;
+pub mod mechanism;
 pub mod theta_grid;
 pub mod theta_line;
 
@@ -39,14 +40,21 @@ pub use answering::{answer_ranges_1d, answer_ranges_2d, true_ranges_1d, true_ran
 pub use approx_dp::{
     line_blowfish_histogram_gaussian, line_range_error_gaussian, tree_blowfish_histogram_gaussian,
 };
-pub use baselines::{dp_dawa_1d, dp_dawa_2d, dp_laplace, dp_privelet_1d, dp_privelet_nd};
-pub use grid::{grid_blowfish_histogram, grid_error_order};
+pub use baselines::{
+    dp_dawa_1d, dp_dawa_2d, dp_laplace, dp_privelet_1d, dp_privelet_nd, DawaBaseline1d,
+    DawaBaseline2d, LaplaceBaseline, PriveletBaseline1d, PriveletBaselineNd,
+};
+pub use grid::{grid_blowfish_histogram, grid_error_order, GridMechanism, GridPlans};
 pub use line1d::{
-    line_blowfish_histogram, line_range_error, tree_blowfish_histogram, TreeEstimator,
+    line_blowfish_histogram, line_range_error, tree_blowfish_histogram, LineMechanism,
+    TreeEstimator, TreeMechanism,
 };
 pub use lower_bounds::{p_eps_delta, svd_lower_bound, svd_lower_bound_unbounded_dp};
-pub use theta_grid::{theta_grid_error_order, ThetaGridStrategy};
-pub use theta_line::{theta_line_error_order, ThetaEstimator, ThetaLineStrategy};
+pub use mechanism::{Estimate, Mechanism};
+pub use theta_grid::{theta_grid_error_order, ThetaGridMechanism, ThetaGridStrategy};
+pub use theta_line::{
+    theta_line_error_order, ThetaEstimator, ThetaLineMechanism, ThetaLineStrategy,
+};
 
 /// Errors reported by strategy construction or execution.
 #[derive(Clone, Debug, PartialEq)]

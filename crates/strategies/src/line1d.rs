@@ -15,7 +15,9 @@
 //! A generic tree-policy variant works for any tree `G` through the
 //! [`Incidence`] machinery.
 
-use rand::Rng;
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
 
 use blowfish_core::{DataVector, Epsilon, Incidence};
 use blowfish_mechanisms::{
@@ -23,6 +25,7 @@ use blowfish_mechanisms::{
     DawaOptions,
 };
 
+use crate::mechanism::{Estimate, Mechanism};
 use crate::StrategyError;
 
 /// How to estimate the transformed (edge-space) database of a tree policy.
@@ -97,45 +100,162 @@ fn estimate_edges<R: Rng + ?Sized>(
     }
 }
 
-/// The `(ε, G¹_k)`-Blowfish histogram estimate: estimates the prefix sums
-/// under ε-DP and differences them back to cell counts, reconstructing the
-/// last cell from the public total `n` (Case II). Returns `x̂` over the
-/// full domain.
+/// The `(ε, G¹_k)`-Blowfish line strategy as a [`Mechanism`]: estimates
+/// the prefix sums under ε-DP and differences them back to cell counts,
+/// reconstructing the last cell from the public total `n` (Case II).
+#[derive(Clone, Copy, Debug)]
+pub struct LineMechanism {
+    eps: Epsilon,
+    estimator: TreeEstimator,
+}
+
+impl LineMechanism {
+    /// Binds the budget and edge-space estimator.
+    pub fn new(eps: Epsilon, estimator: TreeEstimator) -> Self {
+        LineMechanism { eps, estimator }
+    }
+
+    /// The chosen edge-space estimator.
+    pub fn estimator(&self) -> TreeEstimator {
+        self.estimator
+    }
+
+    /// Releases the histogram estimate `x̂` over the full domain (generic
+    /// over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        let k = x.len();
+        if k < 2 {
+            return Err(StrategyError::BadQuery {
+                what: "line policy needs at least 2 domain values",
+            });
+        }
+        let n = x.total();
+        // x_G: the first k−1 prefix sums (the k-th is the public n).
+        let full_prefix = x.prefix_sums();
+        let x_g = &full_prefix[..k - 1];
+        let x_tilde = estimate_edges(x_g, self.eps, self.estimator, Some(n), rng)?;
+        // Difference back: x̂[0] = x̃_G[0]; x̂[i] = x̃_G[i] − x̃_G[i−1];
+        // x̂[k−1] = n − x̃_G[k−2].
+        let mut out = Vec::with_capacity(k);
+        out.push(x_tilde[0]);
+        for i in 1..k - 1 {
+            out.push(x_tilde[i] - x_tilde[i - 1]);
+        }
+        out.push(n - x_tilde[k - 2]);
+        Ok(out)
+    }
+}
+
+impl Mechanism for LineMechanism {
+    fn name(&self) -> &str {
+        self.estimator.name()
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// The generic tree-policy Blowfish strategy as a [`Mechanism`]: solves
+/// `x_G` exactly (subtree sums), estimates it under ε-DP, and maps back
+/// through `x̂ = P_G·x̃_G` with Case II/III reconstruction from the
+/// (public) component totals. Sound for any tree policy by Theorem 4.3.
+///
+/// The [`Incidence`] is shared (`Arc`) so a plan cache can build it once
+/// and serve it across fits and trials.
+///
+/// Isotonic variants are rejected here: general tree edge orders are not
+/// monotone (use [`LineMechanism`] for the line policy).
+#[derive(Clone, Debug)]
+pub struct TreeMechanism {
+    incidence: Arc<Incidence>,
+    eps: Epsilon,
+    estimator: TreeEstimator,
+}
+
+impl TreeMechanism {
+    /// Binds a prepared incidence, budget, and estimator.
+    pub fn new(
+        incidence: Arc<Incidence>,
+        eps: Epsilon,
+        estimator: TreeEstimator,
+    ) -> Result<Self, StrategyError> {
+        if matches!(
+            estimator,
+            TreeEstimator::LaplaceConsistent
+                | TreeEstimator::DawaConsistent
+                | TreeEstimator::HierarchicalConsistent
+        ) {
+            return Err(StrategyError::BadQuery {
+                what: "isotonic consistency requires a monotone edge order (line policy)",
+            });
+        }
+        Ok(TreeMechanism {
+            incidence,
+            eps,
+            estimator,
+        })
+    }
+
+    /// The shared incidence.
+    pub fn incidence(&self) -> &Arc<Incidence> {
+        &self.incidence
+    }
+
+    /// Releases the histogram estimate (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        tree_histogram_impl(&self.incidence, x, self.eps, self.estimator, rng)
+    }
+}
+
+impl Mechanism for TreeMechanism {
+    fn name(&self) -> &str {
+        self.estimator.name()
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
+    }
+}
+
+/// Shared body of the tree strategy (borrowed incidence, already
+/// validated estimator).
+fn tree_histogram_impl<R: Rng + ?Sized>(
+    inc: &Incidence,
+    x: &DataVector,
+    eps: Epsilon,
+    estimator: TreeEstimator,
+    rng: &mut R,
+) -> Result<Vec<f64>, StrategyError> {
+    let reduced = inc.reduce_database(x)?;
+    let x_g = inc.solve_tree(&reduced)?;
+    let x_tilde = estimate_edges(&x_g, eps, estimator, None, rng)?;
+    let est_reduced = inc.apply(&x_tilde)?;
+    let totals = inc.component_totals(x)?;
+    Ok(inc.reconstruct_database(&est_reduced, &totals)?)
+}
+
+/// The `(ε, G¹_k)`-Blowfish histogram estimate — thin wrapper over
+/// [`LineMechanism`]. Returns `x̂` over the full domain.
 pub fn line_blowfish_histogram<R: Rng + ?Sized>(
     x: &DataVector,
     eps: Epsilon,
     estimator: TreeEstimator,
     rng: &mut R,
 ) -> Result<Vec<f64>, StrategyError> {
-    let k = x.len();
-    if k < 2 {
-        return Err(StrategyError::BadQuery {
-            what: "line policy needs at least 2 domain values",
-        });
-    }
-    let n = x.total();
-    // x_G: the first k−1 prefix sums (the k-th is the public n).
-    let full_prefix = x.prefix_sums();
-    let x_g = &full_prefix[..k - 1];
-    let x_tilde = estimate_edges(x_g, eps, estimator, Some(n), rng)?;
-    // Difference back: x̂[0] = x̃_G[0]; x̂[i] = x̃_G[i] − x̃_G[i−1];
-    // x̂[k−1] = n − x̃_G[k−2].
-    let mut out = Vec::with_capacity(k);
-    out.push(x_tilde[0]);
-    for i in 1..k - 1 {
-        out.push(x_tilde[i] - x_tilde[i - 1]);
-    }
-    out.push(n - x_tilde[k - 2]);
-    Ok(out)
+    LineMechanism::new(eps, estimator).fit_histogram(x, rng)
 }
 
-/// The generic tree-policy Blowfish histogram: solves `x_G` exactly
-/// (subtree sums), estimates it under ε-DP, and maps back through
-/// `x̂ = P_G·x̃_G` with Case II/III reconstruction from the (public)
-/// component totals. Sound for any tree policy by Theorem 4.3.
-///
-/// Isotonic variants are rejected here: general tree edge orders are not
-/// monotone (use [`line_blowfish_histogram`] for the line policy).
+/// The generic tree-policy Blowfish histogram — thin wrapper over the
+/// [`TreeMechanism`] body for a borrowed incidence.
 pub fn tree_blowfish_histogram<R: Rng + ?Sized>(
     inc: &Incidence,
     x: &DataVector,
@@ -153,12 +273,7 @@ pub fn tree_blowfish_histogram<R: Rng + ?Sized>(
             what: "isotonic consistency requires a monotone edge order (line policy)",
         });
     }
-    let reduced = inc.reduce_database(x)?;
-    let x_g = inc.solve_tree(&reduced)?;
-    let x_tilde = estimate_edges(&x_g, eps, estimator, None, rng)?;
-    let est_reduced = inc.apply(&x_tilde)?;
-    let totals = inc.component_totals(x)?;
-    Ok(inc.reconstruct_database(&est_reduced, &totals)?)
+    tree_histogram_impl(inc, x, eps, estimator, rng)
 }
 
 /// Analytic per-query error of Algorithm 1 on `R_k` (Theorem 5.2): each

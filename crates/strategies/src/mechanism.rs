@@ -1,0 +1,257 @@
+//! The uniform mechanism abstraction: one object-safe trait in front of
+//! every baseline and Blowfish strategy in this crate.
+//!
+//! Historically each algorithm was a differently-shaped free function
+//! (`line_blowfish_histogram`, `dp_dawa_1d`, `ThetaGridStrategy::run`, …)
+//! and callers glued them together with ad-hoc closures. The
+//! [`Mechanism`] trait fixes one shape — `fit(&self, x, rng) ->
+//! Estimate` — and [`Estimate`] carries the prefix-sum / summed-area
+//! machinery so batched range workloads are answered in O(1) per query
+//! after a single O(k) preparation pass.
+//!
+//! Transformational equivalence (Section 4 of the paper) is what makes
+//! this uniformity sound: every strategy, policy-aware or not, ultimately
+//! releases a histogram estimate `x̂` over the original domain, so one
+//! trait covers the whole zoo. The concrete implementors live next to
+//! their algorithms ([`crate::baselines`], [`crate::line1d`],
+//! [`crate::grid`], [`crate::theta_line`], [`crate::theta_grid`]); the
+//! `blowfish-engine` crate builds the registry/planner layer on top.
+
+use rand::RngCore;
+
+use blowfish_core::{DataVector, Domain, RangeQuery};
+
+use crate::StrategyError;
+
+/// A fitted histogram release, prepared for O(1)-per-query range
+/// answering.
+///
+/// For 1-D domains the constructor materializes prefix sums, for 2-D a
+/// summed-area table — the same machinery as [`crate::answering`], so
+/// answers are bit-identical to `answer_ranges_1d`/`answer_ranges_2d` on
+/// the raw histogram. Domains with three or more dimensions fall back to
+/// direct summation (O(volume) per query).
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    domain: Domain,
+    histogram: Vec<f64>,
+    /// Prefix sums (1-D) or summed-area table (2-D); empty for d ≥ 3.
+    prefix: Vec<f64>,
+}
+
+impl Estimate {
+    /// Wraps a histogram estimate over `domain`, building the answering
+    /// tables.
+    pub fn new(domain: &Domain, histogram: Vec<f64>) -> Result<Self, StrategyError> {
+        if histogram.len() != domain.size() {
+            return Err(StrategyError::BadQuery {
+                what: "estimate length must equal the domain size",
+            });
+        }
+        let prefix = match domain.num_dims() {
+            1 => {
+                let mut prefix = Vec::with_capacity(histogram.len());
+                let mut acc = 0.0;
+                for &v in &histogram {
+                    acc += v;
+                    prefix.push(acc);
+                }
+                prefix
+            }
+            2 => {
+                let (rows, cols) = (domain.dim(0), domain.dim(1));
+                let mut sat = vec![0.0; rows * cols];
+                for r in 0..rows {
+                    let mut row_acc = 0.0;
+                    for c in 0..cols {
+                        row_acc += histogram[r * cols + c];
+                        sat[r * cols + c] =
+                            row_acc + if r > 0 { sat[(r - 1) * cols + c] } else { 0.0 };
+                    }
+                }
+                sat
+            }
+            _ => Vec::new(),
+        };
+        Ok(Estimate {
+            domain: domain.clone(),
+            histogram,
+            prefix,
+        })
+    }
+
+    /// The domain the estimate lives over.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The raw histogram estimate `x̂`.
+    pub fn histogram(&self) -> &[f64] {
+        &self.histogram
+    }
+
+    /// Consumes the estimate, returning the raw histogram.
+    pub fn into_histogram(self) -> Vec<f64> {
+        self.histogram
+    }
+
+    /// The estimated total `Σ x̂`.
+    pub fn total(&self) -> f64 {
+        self.histogram.iter().sum()
+    }
+
+    /// Answers one range query — O(1) for 1-D/2-D domains.
+    ///
+    /// `RangeQuery`'s fields are public, so bounds are re-validated here
+    /// (`lo ≤ hi` per axis, `hi` within the domain) rather than trusting
+    /// construction-time invariants.
+    pub fn answer(&self, q: &RangeQuery) -> Result<f64, StrategyError> {
+        match self.domain.num_dims() {
+            1 => {
+                if q.lo.len() != 1
+                    || q.hi.len() != 1
+                    || q.lo[0] > q.hi[0]
+                    || q.hi[0] >= self.domain.dim(0)
+                {
+                    return Err(StrategyError::BadQuery {
+                        what: "1-D range answering requires 1-D in-range specs",
+                    });
+                }
+                Ok(DataVector::range_from_prefix(
+                    &self.prefix,
+                    q.lo[0],
+                    q.hi[0],
+                ))
+            }
+            2 => {
+                if q.lo.len() != 2
+                    || q.hi.len() != 2
+                    || q.lo[0] > q.hi[0]
+                    || q.lo[1] > q.hi[1]
+                    || q.hi[0] >= self.domain.dim(0)
+                    || q.hi[1] >= self.domain.dim(1)
+                {
+                    return Err(StrategyError::BadQuery {
+                        what: "2-D range answering requires 2-D in-range specs",
+                    });
+                }
+                Ok(DataVector::range_from_prefix_2d(
+                    &self.prefix,
+                    self.domain.dim(1),
+                    (q.lo[0], q.lo[1]),
+                    (q.hi[0], q.hi[1]),
+                ))
+            }
+            _ => {
+                let cells = q.cells(&self.domain)?;
+                Ok(cells.into_iter().map(|c| self.histogram[c]).sum())
+            }
+        }
+    }
+
+    /// Answers a batch of range queries.
+    pub fn answer_all(&self, specs: &[RangeQuery]) -> Result<Vec<f64>, StrategyError> {
+        specs.iter().map(|s| self.answer(s)).collect()
+    }
+}
+
+/// One differentially private (or Blowfish-private) histogram release
+/// mechanism with its privacy parameters bound in.
+///
+/// Object safety is deliberate: the engine layer stores `Arc<dyn
+/// Mechanism>` in its registry and serves fits from a shared plan cache.
+/// Randomness comes in as `&mut dyn RngCore` so a single seeded generator
+/// can drive heterogeneous mechanism sets reproducibly.
+pub trait Mechanism: Send + Sync {
+    /// Display name matching the paper's figure legends.
+    fn name(&self) -> &str;
+
+    /// Runs the mechanism on `x`, producing a query-ready [`Estimate`].
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answering::{answer_ranges_1d, answer_ranges_2d};
+    use blowfish_core::Domain;
+
+    #[test]
+    fn estimate_matches_answering_helpers_1d() {
+        let d = Domain::one_dim(6);
+        let hist = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let est = Estimate::new(&d, hist.clone()).unwrap();
+        let specs = vec![
+            RangeQuery::one_dim(&d, 0, 5).unwrap(),
+            RangeQuery::one_dim(&d, 2, 4).unwrap(),
+            RangeQuery::one_dim(&d, 3, 3).unwrap(),
+        ];
+        assert_eq!(
+            est.answer_all(&specs).unwrap(),
+            answer_ranges_1d(&hist, &specs).unwrap()
+        );
+        assert_eq!(est.total(), 23.0);
+        assert_eq!(est.histogram(), hist.as_slice());
+        assert_eq!(est.domain().size(), 6);
+        assert_eq!(est.into_histogram(), hist);
+    }
+
+    #[test]
+    fn estimate_matches_answering_helpers_2d() {
+        let d = Domain::square(4);
+        let hist: Vec<f64> = (0..16).map(|v| v as f64).collect();
+        let est = Estimate::new(&d, hist.clone()).unwrap();
+        let specs = vec![
+            RangeQuery::new(&d, vec![0, 0], vec![3, 3]).unwrap(),
+            RangeQuery::new(&d, vec![1, 1], vec![2, 3]).unwrap(),
+            RangeQuery::new(&d, vec![2, 0], vec![2, 0]).unwrap(),
+        ];
+        assert_eq!(
+            est.answer_all(&specs).unwrap(),
+            answer_ranges_2d(&hist, 4, 4, &specs).unwrap()
+        );
+    }
+
+    #[test]
+    fn estimate_3d_falls_back_to_direct_sums() {
+        let d = Domain::hypercube(3, 3).unwrap();
+        let hist: Vec<f64> = (0..27).map(|v| v as f64).collect();
+        let est = Estimate::new(&d, hist.clone()).unwrap();
+        let q = RangeQuery::new(&d, vec![0, 0, 0], vec![2, 2, 2]).unwrap();
+        assert_eq!(est.answer(&q).unwrap(), hist.iter().sum::<f64>());
+        let q2 = RangeQuery::new(&d, vec![1, 1, 1], vec![1, 1, 1]).unwrap();
+        assert_eq!(est.answer(&q2).unwrap(), hist[13]);
+    }
+
+    #[test]
+    fn estimate_shape_validation() {
+        let d = Domain::one_dim(4);
+        assert!(Estimate::new(&d, vec![1.0; 3]).is_err());
+        let est = Estimate::new(&d, vec![1.0; 4]).unwrap();
+        let d2 = Domain::square(2);
+        let spec2d = RangeQuery::new(&d2, vec![0, 0], vec![1, 1]).unwrap();
+        assert!(est.answer(&spec2d).is_err());
+        let est2 = Estimate::new(&d2, vec![1.0; 4]).unwrap();
+        let d1 = Domain::one_dim(2);
+        let spec1d = RangeQuery::one_dim(&d1, 0, 1).unwrap();
+        assert!(est2.answer(&spec1d).is_err());
+    }
+
+    #[test]
+    fn estimate_rejects_inverted_ranges() {
+        // RangeQuery fields are pub: a hand-mutated lo > hi must error,
+        // not silently difference prefixes backwards.
+        let d = Domain::one_dim(8);
+        let est = Estimate::new(&d, vec![1.0; 8]).unwrap();
+        let mut q = RangeQuery::one_dim(&d, 1, 5).unwrap();
+        q.lo = vec![6];
+        assert!(est.answer(&q).is_err());
+        let d2 = Domain::square(4);
+        let est2 = Estimate::new(&d2, vec![1.0; 16]).unwrap();
+        let mut q2 = RangeQuery::new(&d2, vec![0, 1], vec![2, 3]).unwrap();
+        q2.lo = vec![0, 4];
+        assert!(est2.answer(&q2).is_err());
+        q2.lo = vec![3, 1];
+        assert!(est2.answer(&q2).is_err());
+    }
+}

@@ -18,13 +18,16 @@
 //! result is `(ε, G^θ_{k²})`-Blowfish private, with per-query error
 //! `O(d³·log^{3(d−1)}k·log³θ/ε²)` (Theorem 5.6).
 
-use rand::Rng;
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
 
 use blowfish_core::spanner::theta_grid_spanner;
 use blowfish_core::{DataVector, Domain, Epsilon};
 use blowfish_mechanisms::privelet_histogram;
 
 use crate::grid::grid_blowfish_histogram;
+use crate::mechanism::{Estimate, Mechanism};
 use crate::StrategyError;
 
 /// A prepared `G^θ_{k²}` strategy.
@@ -189,6 +192,46 @@ impl ThetaGridStrategy {
             }
         }
         Ok(out)
+    }
+}
+
+/// The θ-grid strategy as a [`Mechanism`]: a shared prepared
+/// [`ThetaGridStrategy`] (block geometry + certified stretch, built once
+/// by the plan cache) with the budget bound in.
+#[derive(Clone, Debug)]
+pub struct ThetaGridMechanism {
+    strategy: Arc<ThetaGridStrategy>,
+    eps: Epsilon,
+}
+
+impl ThetaGridMechanism {
+    /// Binds a prepared strategy and budget.
+    pub fn new(strategy: Arc<ThetaGridStrategy>, eps: Epsilon) -> Self {
+        ThetaGridMechanism { strategy, eps }
+    }
+
+    /// The shared prepared strategy.
+    pub fn strategy(&self) -> &Arc<ThetaGridStrategy> {
+        &self.strategy
+    }
+
+    /// Releases the histogram estimate (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        self.strategy.histogram(x, self.eps, rng)
+    }
+}
+
+impl Mechanism for ThetaGridMechanism {
+    fn name(&self) -> &str {
+        "Transformed + Privelet"
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
     }
 }
 

@@ -11,12 +11,18 @@
 //! `O(log³θ/ε²)` per range query — or by Laplace / DAWA for the
 //! data-dependent variants of Figure 8d.
 
-use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::{Rng, RngCore};
 
 use blowfish_core::spanner::{theta_line_spanner, ThetaLineSpanner};
 use blowfish_core::{DataVector, Epsilon, Incidence};
-use blowfish_mechanisms::{dawa_histogram, laplace_histogram, privelet_histogram_1d, DawaOptions};
+use blowfish_mechanisms::{
+    dawa_histogram, laplace_histogram, privelet_histogram_planned, DawaOptions, HaarPlan,
+};
 
+use crate::mechanism::{Estimate, Mechanism};
 use crate::StrategyError;
 
 /// Edge-space estimator for the θ-line strategy.
@@ -47,16 +53,30 @@ impl ThetaEstimator {
 pub struct ThetaLineStrategy {
     spanner: ThetaLineSpanner,
     incidence: Incidence,
+    /// Haar plans for the per-group Privelet estimator, keyed by group
+    /// length — derived once at construction so fits never re-plan.
+    group_plans: HashMap<usize, HaarPlan>,
 }
 
 impl ThetaLineStrategy {
     /// Builds the strategy for domain size `k` and threshold `θ`
-    /// (`k > θ ≥ 1`). Certifies the spanner stretch as part of
-    /// construction.
+    /// (`k > θ ≥ 1`). Certifies the spanner stretch and derives the
+    /// per-group Haar plans as part of construction.
     pub fn new(k: usize, theta: usize) -> Result<Self, StrategyError> {
         let spanner = theta_line_spanner(k, theta)?;
         let incidence = Incidence::new(&spanner.graph)?;
-        Ok(ThetaLineStrategy { spanner, incidence })
+        let mut group_plans = HashMap::new();
+        for &(start, end) in &spanner.groups {
+            let len = end - start;
+            if let std::collections::hash_map::Entry::Vacant(e) = group_plans.entry(len) {
+                e.insert(HaarPlan::new(&[len])?);
+            }
+        }
+        Ok(ThetaLineStrategy {
+            spanner,
+            incidence,
+            group_plans,
+        })
     }
 
     /// The certified stretch ℓ (≤ 3 by Theorem 5.5).
@@ -93,7 +113,13 @@ impl ThetaLineStrategy {
                     // The incidence preserves the spanner's edge order and
                     // count (grounding rewrites columns, never drops them),
                     // so group index ranges apply to x_G directly.
-                    let est = privelet_histogram_1d(&x_g[start..end], eps_eff, rng)?;
+                    let plan =
+                        self.group_plans
+                            .get(&(end - start))
+                            .ok_or(StrategyError::BadQuery {
+                                what: "spanner group length missing from the prepared Haar plans",
+                            })?;
+                    let est = privelet_histogram_planned(plan, &x_g[start..end], eps_eff, rng)?;
                     out[start..end].copy_from_slice(&est);
                 }
                 out
@@ -102,6 +128,51 @@ impl ThetaLineStrategy {
         let est_reduced = self.incidence.apply(&x_tilde)?;
         let totals = self.incidence.component_totals(x)?;
         Ok(self.incidence.reconstruct_database(&est_reduced, &totals)?)
+    }
+}
+
+/// The θ-line strategy as a [`Mechanism`]: a shared prepared
+/// [`ThetaLineStrategy`] (spanner + incidence + Haar plans, built once by
+/// the plan cache) with the budget and edge-space estimator bound in.
+#[derive(Clone, Debug)]
+pub struct ThetaLineMechanism {
+    strategy: Arc<ThetaLineStrategy>,
+    eps: Epsilon,
+    estimator: ThetaEstimator,
+}
+
+impl ThetaLineMechanism {
+    /// Binds a prepared strategy, budget, and estimator.
+    pub fn new(strategy: Arc<ThetaLineStrategy>, eps: Epsilon, estimator: ThetaEstimator) -> Self {
+        ThetaLineMechanism {
+            strategy,
+            eps,
+            estimator,
+        }
+    }
+
+    /// The shared prepared strategy.
+    pub fn strategy(&self) -> &Arc<ThetaLineStrategy> {
+        &self.strategy
+    }
+
+    /// Releases the histogram estimate (generic over the RNG).
+    pub fn fit_histogram<R: Rng + ?Sized>(
+        &self,
+        x: &DataVector,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, StrategyError> {
+        self.strategy.histogram(x, self.eps, self.estimator, rng)
+    }
+}
+
+impl Mechanism for ThetaLineMechanism {
+    fn name(&self) -> &str {
+        self.estimator.name()
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Offline shim for the subset of the `proptest` API this workspace's
-//! property tests use: the [`Strategy`] trait with `prop_map` /
-//! `prop_flat_map` / `boxed`, range and collection strategies, [`Just`],
+//! property tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, range and collection strategies, [`Just`](strategy::Just),
 //! tuples and `Vec<BoxedStrategy<_>>` as composite strategies, and the
 //! `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
 //!
@@ -187,7 +187,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Element-count specification for [`vec`]: an exact size or a range.
+    /// Element-count specification for [`vec`](vec()): an exact size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

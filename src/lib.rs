@@ -23,9 +23,18 @@
 //!   transformation (Cases I/II/III), sensitivities, spanners, neighbor
 //!   enumeration, error measurement.
 //! * [`mechanisms`] — Laplace, exponential, matrix mechanism,
-//!   hierarchical (Hay), Privelet (1-D/d-D), DAWA, isotonic consistency.
+//!   hierarchical (Hay), Privelet (1-D/d-D, planned via `HaarPlan`),
+//!   DAWA, isotonic consistency.
 //! * [`strategies`] — the Section-5 policy-aware algorithms (line, θ-line,
-//!   grid, θ-grid), ε/2-DP baselines, and the Appendix-A SVD lower bounds.
+//!   grid, θ-grid), ε/2-DP baselines, the Appendix-A SVD lower bounds,
+//!   and the object-safe [`Mechanism`](strategies::Mechanism) trait +
+//!   [`Estimate`](strategies::Estimate) every algorithm is served through.
+//! * [`engine`] — the plan-once/serve-many layer: the
+//!   [`MechanismSpec`](engine::MechanismSpec) registry, the
+//!   [`PlanCache`](engine::PlanCache) of per-policy artifacts (incidence,
+//!   spanners, Haar plans, pseudoinverses), and the
+//!   [`Session`](engine::Session)/planner serving fitted
+//!   [`Estimate`](strategies::Estimate)s at O(1) per range query.
 //! * [`data`] — synthetic Table-1 datasets.
 //!
 //! ## Quickstart
@@ -58,6 +67,7 @@
 
 pub use blowfish_core as core;
 pub use blowfish_data as data;
+pub use blowfish_engine as engine;
 pub use blowfish_linalg as linalg;
 pub use blowfish_mechanisms as mechanisms;
 pub use blowfish_strategies as strategies;
@@ -70,15 +80,17 @@ pub mod prelude {
         Workload,
     };
     pub use blowfish_data::{dataset, DatasetId};
+    pub use blowfish_engine::{MechanismSpec, Plan, PlanCache, Policy, Session, Task};
     pub use blowfish_mechanisms::{
         dawa_histogram, hierarchical_histogram, isotonic_non_decreasing, laplace_histogram,
-        privelet_histogram, privelet_histogram_1d, DawaOptions, MatrixMechanism,
+        privelet_histogram, privelet_histogram_1d, privelet_histogram_planned, DawaOptions,
+        HaarPlan, MatrixMechanism,
     };
     pub use blowfish_strategies::{
         answer_ranges_1d, answer_ranges_2d, dp_dawa_1d, dp_laplace, dp_privelet_1d, dp_privelet_nd,
         grid_blowfish_histogram, line_blowfish_histogram, svd_lower_bound,
-        svd_lower_bound_unbounded_dp, true_ranges_1d, true_ranges_2d, ThetaEstimator,
-        ThetaGridStrategy, ThetaLineStrategy, TreeEstimator,
+        svd_lower_bound_unbounded_dp, true_ranges_1d, true_ranges_2d, Estimate, Mechanism,
+        ThetaEstimator, ThetaGridStrategy, ThetaLineStrategy, TreeEstimator,
     };
 }
 
