@@ -31,10 +31,26 @@ fn bench_linalg(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("matmul", 128), |bch| {
         bch.iter(|| a.matmul(&b).expect("shapes agree"));
     });
+    group.bench_function(BenchmarkId::new("matmul_naive", 128), |bch| {
+        bch.iter(|| a.matmul_naive(&b).expect("shapes agree"));
+    });
+
+    let tall = random_matrix(128, 64, 5);
+    group.bench_function(BenchmarkId::new("gram_128x64", 64), |bch| {
+        bch.iter(|| tall.gram());
+    });
+    group.bench_function(BenchmarkId::new("gram_t_64x128", 64), |bch| {
+        bch.iter(|| tall.transpose().gram_t());
+    });
 
     let spd = random_spd(128, 3);
     group.bench_function(BenchmarkId::new("cholesky", 128), |bch| {
         bch.iter(|| Cholesky::factor(&spd).expect("SPD"));
+    });
+
+    let factored = Cholesky::factor(&spd).expect("SPD");
+    group.bench_function(BenchmarkId::new("cholesky_inverse", 128), |bch| {
+        bch.iter(|| factored.inverse().expect("invertible"));
     });
 
     group.bench_function(BenchmarkId::new("eigh", 128), |bch| {
@@ -44,6 +60,11 @@ fn bench_linalg(c: &mut Criterion) {
     let wide = random_matrix(64, 128, 4);
     group.bench_function(BenchmarkId::new("pseudoinverse_64x128", 64), |bch| {
         bch.iter(|| pseudoinverse(&wide).expect("full row rank"));
+    });
+    // The matrix-mechanism planning shape: a tall full-column-rank
+    // strategy, A⁺ via Cholesky on the normal equations.
+    group.bench_function(BenchmarkId::new("pseudoinverse_128x64", 128), |bch| {
+        bch.iter(|| pseudoinverse(&tall).expect("full column rank"));
     });
 
     group.finish();

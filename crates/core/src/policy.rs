@@ -324,7 +324,8 @@ impl PolicyGraph {
     // ------------------------------------------------------------------
 
     /// BFS distances from value vertex `start` to every vertex; ⊥ is the
-    /// last slot. Unreachable vertices map to `usize::MAX`.
+    /// last slot. Unreachable vertices map to `usize::MAX`. Iterates
+    /// adjacency lists in place — no per-vertex allocation.
     pub fn bfs_distances(&self, start: usize) -> Vec<usize> {
         let k = self.num_values();
         let mut dist = vec![usize::MAX; k + 1];
@@ -333,12 +334,12 @@ impl PolicyGraph {
         q.push_back(start);
         while let Some(u) = q.pop_front() {
             let du = dist[u];
-            let nexts: Vec<usize> = if u == k {
-                self.bottom_adj.iter().map(|&(v, _)| v).collect()
+            let nexts = if u == k {
+                &self.bottom_adj
             } else {
-                self.adj[u].iter().map(|&(v, _)| v).collect()
+                &self.adj[u]
             };
-            for v in nexts {
+            for &(v, _) in nexts {
                 if dist[v] == usize::MAX {
                     dist[v] = du + 1;
                     q.push_back(v);
@@ -379,12 +380,12 @@ impl PolicyGraph {
                 if u < k {
                     members.push(u);
                 }
-                let nexts: Vec<usize> = if u == k {
-                    self.bottom_adj.iter().map(|&(v, _)| v).collect()
+                let nexts = if u == k {
+                    &self.bottom_adj
                 } else {
-                    self.adj[u].iter().map(|&(v, _)| v).collect()
+                    &self.adj[u]
                 };
-                for v in nexts {
+                for &(v, _) in nexts {
                     if comp[v] == usize::MAX {
                         comp[v] = c;
                         q.push_back(v);

@@ -76,17 +76,41 @@ pub fn theta_line_spanner(k: usize, theta: usize) -> Result<ThetaLineSpanner, Co
     }
     debug_assert_eq!(edges.len(), k - 1);
     let graph = PolicyGraph::from_edges(Domain::one_dim(k), edges, format!("H^{theta}_{k}"))?;
-    // Certify the stretch against G^θ_k (Lemma 4.5's hypothesis).
-    let target = PolicyGraph::theta_line(k, theta)?;
-    let stretch = target
-        .stretch_through(&graph)
-        .ok_or(CoreError::NotConnectedToBottom)?;
+    // Certify the stretch against G^θ_k (Lemma 4.5's hypothesis) in closed
+    // form: O(kθ) instead of materializing G^θ_k and running one BFS per
+    // vertex. Cross-checked against `PolicyGraph::stretch_through` in the
+    // tests.
+    let stretch = certified_theta_line_stretch(k, theta, nred);
     Ok(ThetaLineSpanner {
         graph,
         theta,
         groups,
         stretch,
     })
+}
+
+/// Exact stretch of `H^θ_k` against `G^θ_k`, from the spanner's tree
+/// structure: every non-red vertex is a leaf hanging off its block's red
+/// vertex (trailing vertices off the last red vertex), and the red
+/// vertices form a path. The unique tree path between `u` and `v` is
+/// therefore `u → red(u) → … → red(v) → v`, of length
+/// `[u not red] + |ridx(u) − ridx(v)| + [v not red]`; the stretch is the
+/// maximum over the `G^θ_k` edges, i.e. all pairs with `|u − v| ≤ θ`.
+fn certified_theta_line_stretch(k: usize, theta: usize, nred: usize) -> usize {
+    // Index of the red vertex `u` attaches to (or is): block u/θ, clamped
+    // so trailing vertices attach to the last red vertex.
+    let ridx = |u: usize| (u / theta).min(nred - 1);
+    let is_red = |u: usize| u % theta == theta - 1 && u / theta < nred;
+    let mut worst = 0usize;
+    for u in 0..k {
+        let hop_u = usize::from(!is_red(u));
+        let ru = ridx(u);
+        for v in (u + 1)..=(u + theta).min(k - 1) {
+            let d = hop_u + ridx(v).abs_diff(ru) + usize::from(!is_red(v));
+            worst = worst.max(d);
+        }
+    }
+    worst
 }
 
 /// The 2-D spanner `H^θ_{k²}` of Section 5.3.2 with its internal/external
@@ -127,14 +151,51 @@ impl ThetaGridSpanner {
     }
 
     /// Certifies the Lemma 4.5 stretch of this spanner against
-    /// `G^θ_{k²}`. O(|V| · |E|); intended for moderate domains and tests —
-    /// the strategies call it once per configuration.
+    /// `G^θ_{k²}`, in closed form: non-red vertices are degree-1 leaves
+    /// hanging off their block's red corner, and the red corners form an
+    /// `m × m` grid graph (shortest red-red path = L1 distance over red
+    /// cells), so the spanner distance between any two cells is
+    /// `[u not red] + |a_u − a_v| + |b_u − b_v| + [v not red]` where
+    /// `(a, b)` are block coordinates. The maximum over `G^θ` edges is
+    /// taken by sweeping every cell against its canonical `|δ|₁ ≤ θ`
+    /// offsets — O(k²θ²) arithmetic with no graph materialization or BFS
+    /// (the old path built the Θ(k²θ²)-edge target graph and ran one BFS
+    /// per vertex). Cross-checked against `PolicyGraph::stretch_through`
+    /// in the tests.
     pub fn certify_stretch(&self, theta: usize) -> Result<usize, CoreError> {
-        let domain = self.graph.domain().clone();
-        let target = PolicyGraph::distance_threshold(domain, theta)?;
-        target
-            .stretch_through(&self.graph)
-            .ok_or(CoreError::NotConnectedToBottom)
+        if theta == 0 {
+            return Err(CoreError::InvalidTheta { theta });
+        }
+        let s = self.block;
+        let k = s * self.red_k;
+        let t = theta as isize;
+        let is_red = |r: usize, c: usize| r % s == s - 1 && c % s == s - 1;
+        let mut worst = 0usize;
+        for r1 in 0..k {
+            for c1 in 0..k {
+                let hop1 = usize::from(!is_red(r1, c1));
+                let (a1, b1) = (r1 / s, c1 / s);
+                // Canonical offsets: first nonzero coordinate positive.
+                for dr in 0..=t {
+                    let rem = t - dr;
+                    let dc_lo = if dr == 0 { 1 } else { -rem };
+                    for dc in dc_lo..=rem {
+                        let r2 = r1 as isize + dr;
+                        let c2 = c1 as isize + dc;
+                        if r2 >= k as isize || c2 < 0 || c2 >= k as isize {
+                            continue;
+                        }
+                        let (r2, c2) = (r2 as usize, c2 as usize);
+                        let d = hop1
+                            + (r2 / s).abs_diff(a1)
+                            + (c2 / s).abs_diff(b1)
+                            + usize::from(!is_red(r2, c2));
+                        worst = worst.max(d);
+                    }
+                }
+            }
+        }
+        Ok(worst)
     }
 }
 
@@ -219,12 +280,12 @@ pub fn bfs_spanning_tree(g: &PolicyGraph, root: usize) -> Result<PolicyGraph, Co
     visited[root] = true;
     q.push_back(root);
     while let Some(u) = q.pop_front() {
-        let nexts: Vec<usize> = if u == k {
-            g.bottom_neighbors().iter().map(|&(v, _)| v).collect()
+        let nexts = if u == k {
+            g.bottom_neighbors()
         } else {
-            g.neighbors(u).iter().map(|&(v, _)| v).collect()
+            g.neighbors(u)
         };
-        for v in nexts {
+        for &(v, _) in nexts {
             if !visited[v] {
                 visited[v] = true;
                 let a = if u == k { Vtx::Bottom } else { Vtx::Value(u) };
@@ -277,6 +338,49 @@ mod tests {
         for &(s, e) in &sp.groups {
             assert!(e - s <= sp.theta);
         }
+    }
+
+    #[test]
+    fn theta_line_closed_form_stretch_matches_bfs_certification() {
+        // The O(kθ) closed form must agree with the graph-walk certifier
+        // (one BFS per G^θ_k vertex through the spanner) on every shape:
+        // θ | k, θ ∤ k, θ = 1, large θ.
+        for (k, theta) in [
+            (10usize, 3usize),
+            (12, 4),
+            (16, 2),
+            (9, 3),
+            (17, 5),
+            (8, 1),
+            (11, 7),
+            (25, 6),
+        ] {
+            let sp = theta_line_spanner(k, theta).unwrap();
+            let target = PolicyGraph::theta_line(k, theta).unwrap();
+            let bfs = target.stretch_through(&sp.graph).unwrap();
+            assert_eq!(
+                sp.stretch, bfs,
+                "closed-form vs BFS stretch for k={k}, θ={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_grid_closed_form_stretch_matches_bfs_certification() {
+        for (k, theta) in [(6usize, 4usize), (8, 4), (9, 6), (4, 2), (6, 2), (10, 4)] {
+            let sp = theta_grid_spanner(k, theta).unwrap();
+            let target = PolicyGraph::distance_threshold(sp.graph.domain().clone(), theta).unwrap();
+            let bfs = target.stretch_through(&sp.graph).unwrap();
+            assert_eq!(
+                sp.certify_stretch(theta).unwrap(),
+                bfs,
+                "closed-form vs BFS stretch for k={k}, θ={theta}"
+            );
+        }
+        assert!(theta_grid_spanner(6, 4)
+            .unwrap()
+            .certify_stretch(0)
+            .is_err());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`Session`] — binds `(Domain, policy, ε)`, classifies the policy
 //!   graph ([`Policy::from_graph`]), memoizes mechanisms, and plans the
 //!   paper-recommended strategy per [`Task`].
+//! * [`parallel`] — scoped-thread fan-out ([`parallel_map`],
+//!   [`fit_cells`]) serving independent panel/session cells across cores
+//!   with output bit-identical to the serial path.
 //!
 //! ## Quickstart
 //!
@@ -49,10 +52,12 @@
 //! assert_eq!(lineup.len(), 5);
 //! ```
 
+pub mod parallel;
 pub mod plan;
 pub mod session;
 pub mod spec;
 
+pub use parallel::{fit_cells, fit_cells_serial, parallel_map, FitCell};
 pub use plan::{PlanCache, PlanStats};
 pub use session::{Plan, Policy, Session};
 pub use spec::{MechanismSpec, Task};

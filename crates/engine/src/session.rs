@@ -334,6 +334,15 @@ impl Session {
     /// Builds (or returns the memoized) mechanism for a spec at the
     /// session budget — Blowfish strategies at ε, baselines at the
     /// Section 6 comparison budget ε/2.
+    ///
+    /// Concurrency: the build runs *outside* the memo lock so distinct
+    /// specs (the `parallel` fan-out's cold phase) construct in parallel;
+    /// the insert is entry-based, so if two threads race the *same* cold
+    /// spec the first finisher wins and every caller receives that single
+    /// memoized instance (the loser's transient wrapper is dropped). The
+    /// expensive artifacts inside a build are unconditionally derive-once
+    /// regardless of such races: they are created under the shared
+    /// [`PlanCache`] locks.
     pub fn mechanism(&self, spec: &MechanismSpec) -> Result<Arc<dyn Mechanism>, EngineError> {
         let id = spec.id();
         if let Some(m) = self.mechanisms.lock().expect("session lock").get(&id) {
@@ -344,12 +353,10 @@ impl Session {
         } else {
             self.eps
         };
-        let m = self.build(spec, eps)?;
-        self.mechanisms
-            .lock()
-            .expect("session lock")
-            .insert(id, Arc::clone(&m));
-        Ok(m)
+        let built = self.build(spec, eps)?;
+        let mut memo = self.mechanisms.lock().expect("session lock");
+        let m = memo.entry(id).or_insert(built);
+        Ok(Arc::clone(m))
     }
 
     /// Builds a mechanism for a spec at an explicit budget, bypassing the

@@ -1,10 +1,16 @@
 //! Dense Cholesky factorization for symmetric positive-definite systems.
 //!
-//! Used for the full-row-rank pseudoinverse path `A⁺ = Aᵀ(AAᵀ)⁻¹` and for
+//! This is the planning kernel behind the matrix-mechanism pseudoinverse
+//! (`A⁺` via the normal equations, see [`crate::svd::pseudoinverse`]) and
 //! small grounded-Laplacian solves where the conjugate-gradient route is
-//! unnecessary.
+//! unnecessary. The factorization is the row-oriented Cholesky–Crout
+//! variant whose inner loops are unrolled [`dot`] products over row
+//! prefixes, and the triangular substitutions run *right-looking* so both
+//! the forward and backward passes only ever touch contiguous rows of `L`
+//! — [`Cholesky::solve_matrix`] performs whole-row axpy updates on the
+//! RHS block instead of solving (and allocating) column by column.
 
-use crate::dense::Matrix;
+use crate::dense::{dot, Matrix};
 use crate::LinalgError;
 
 /// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
@@ -27,23 +33,21 @@ impl Cholesky {
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            let mut diag = a[(j, j)];
-            for k in 0..j {
-                diag -= l[(j, k)] * l[(j, k)];
+        // Row-oriented Cholesky–Crout: row i is completed in one pass, with
+        // every inner reduction a dot product of two finished row prefixes.
+        for i in 0..n {
+            let (done, rest) = l.as_mut_slice().split_at_mut(i * n);
+            let lrow = &mut rest[..n];
+            for j in 0..i {
+                let ljrow = &done[j * n..j * n + j];
+                let s = a[(i, j)] - dot(&lrow[..j], ljrow);
+                lrow[j] = s / done[j * n + j];
             }
-            if diag <= 1e-12 * (1.0 + a[(j, j)].abs()) {
-                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            let diag = a[(i, i)] - dot(&lrow[..i], &lrow[..i]);
+            if diag <= 1e-12 * (1.0 + a[(i, i)].abs()) {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i });
             }
-            let ljj = diag.sqrt();
-            l[(j, j)] = ljj;
-            for i in (j + 1)..n {
-                let mut v = a[(i, j)];
-                for k in 0..j {
-                    v -= l[(i, k)] * l[(j, k)];
-                }
-                l[(i, j)] = v / ljj;
-            }
+            lrow[i] = diag.sqrt();
         }
         Ok(Cholesky { l })
     }
@@ -62,28 +66,34 @@ impl Cholesky {
                 got: (b.len(), 1),
             });
         }
-        // Forward: L y = b
+        // Forward: L y = b (dot over the finished prefix).
         let mut y = b.to_vec();
         for i in 0..n {
             let row = self.l.row(i);
-            let mut v = y[i];
-            for k in 0..i {
-                v -= row[k] * y[k];
-            }
-            y[i] = v / row[i];
+            y[i] = (y[i] - dot(&row[..i], &y[..i])) / row[i];
         }
-        // Backward: Lᵀ x = y
+        // Backward: Lᵀ x = y, right-looking — once x_i is known, its
+        // contribution `L[i][k]·x_i` is pushed into every earlier equation
+        // using row `i` of `L` (contiguous), instead of gathering the
+        // strided column `L[·][i]`.
         for i in (0..n).rev() {
-            let mut v = y[i];
-            for (k, &yk) in y.iter().enumerate().skip(i + 1) {
-                v -= self.l[(k, i)] * yk;
+            let row = self.l.row(i);
+            let xi = y[i] / row[i];
+            y[i] = xi;
+            if xi != 0.0 {
+                for (yk, &lik) in y[..i].iter_mut().zip(&row[..i]) {
+                    *yk -= lik * xi;
+                }
             }
-            y[i] = v / self.l[(i, i)];
         }
         Ok(y)
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `A X = B` for a whole RHS block at once: the forward and
+    /// backward substitutions run as row-axpy updates over `B`'s rows, so
+    /// no per-column gather or allocation happens (this is what makes
+    /// [`Cholesky::inverse`] and the solve-based pseudoinverse paths
+    /// cheap).
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
         let n = self.l.rows();
         if b.rows() != n {
@@ -92,15 +102,48 @@ impl Cholesky {
                 got: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+        let p = b.cols();
+        let mut y = b.clone();
+        // Forward: L Y = B.
+        for i in 0..n {
+            let lrow = self.l.row(i);
+            let (above, rest) = y.as_mut_slice().split_at_mut(i * p);
+            let yrow = &mut rest[..p];
+            for (k, &lik) in lrow[..i].iter().enumerate() {
+                if lik != 0.0 {
+                    let yk = &above[k * p..(k + 1) * p];
+                    for (v, &u) in yrow.iter_mut().zip(yk) {
+                        *v -= lik * u;
+                    }
+                }
+            }
+            let d = lrow[i];
+            for v in yrow.iter_mut() {
+                *v /= d;
             }
         }
-        Ok(out)
+        // Backward: Lᵀ X = Y, right-looking over rows.
+        for i in (0..n).rev() {
+            let lrow = self.l.row(i);
+            let (above, rest) = y.as_mut_slice().split_at_mut(i * p);
+            {
+                let xrow = &mut rest[..p];
+                let d = lrow[i];
+                for v in xrow.iter_mut() {
+                    *v /= d;
+                }
+            }
+            let xrow = &rest[..p];
+            for (k, &lik) in lrow[..i].iter().enumerate() {
+                if lik != 0.0 {
+                    let yk = &mut above[k * p..(k + 1) * p];
+                    for (u, &x) in yk.iter_mut().zip(xrow) {
+                        *u -= lik * x;
+                    }
+                }
+            }
+        }
+        Ok(y)
     }
 
     /// The inverse `A⁻¹` (solve against the identity).

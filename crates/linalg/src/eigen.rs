@@ -69,15 +69,22 @@ pub fn eigh(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
     let mut d = vec![0.0; n]; // diagonal
     let mut e = vec![0.0; n]; // off-diagonal
     tred2(&mut z, &mut d, &mut e);
-    tql2(&mut z, &mut d, &mut e)?;
-    // Sort ascending, permuting eigenvector columns alongside.
+    // Transpose-once pattern: `tql2`'s rotation loop touches eigenvector
+    // *columns* of the accumulated transformation — strided in row-major
+    // storage. Holding the transpose during the iteration turns every
+    // rotation into a contiguous two-row sweep; the final sort then reads
+    // eigenvector `j` from row `j`.
+    let mut zt = z.transpose();
+    tql2(&mut zt, &mut d, &mut e)?;
+    // Sort ascending, permuting eigenvector rows (of `zt`) alongside.
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite eigenvalues"));
     let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_j, &old_j) in order.iter().enumerate() {
+        let zrow = zt.row(old_j);
         for i in 0..n {
-            vectors[(i, new_j)] = z[(i, old_j)];
+            vectors[(i, new_j)] = zrow[i];
         }
     }
     Ok(SymmetricEigen { values, vectors })
@@ -164,8 +171,10 @@ fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
 }
 
 /// Implicit-shift QL iteration on a symmetric tridiagonal matrix,
-/// accumulating the eigenvectors into `z`. Port of EISPACK `tql2`.
-fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+/// accumulating the eigenvectors into the *rows* of `zt` (the transposed
+/// transformation from `tred2`), so each plane rotation updates two
+/// contiguous rows instead of two strided columns. Port of EISPACK `tql2`.
+fn tql2(zt: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
     let n = d.len();
     for i in 1..n {
         e[i - 1] = e[i];
@@ -202,7 +211,7 @@ fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError>
             let mut c = 1.0;
             let mut p = 0.0;
             for i in (l..m).rev() {
-                let mut f = s * e[i];
+                let f = s * e[i];
                 let b = c * e[i];
                 r = f.hypot(g);
                 e[i + 1] = r;
@@ -218,11 +227,17 @@ fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError>
                 p = s * r;
                 d[i + 1] = g + p;
                 g = c * r - b;
-                // Accumulate the rotation into the eigenvector matrix.
-                for k in 0..n {
-                    f = z[(k, i + 1)];
-                    z[(k, i + 1)] = s * z[(k, i)] + c * f;
-                    z[(k, i)] = c * z[(k, i)] - s * f;
+                // Accumulate the rotation into the eigenvector matrix:
+                // rows i and i+1 of the transposed storage, contiguous.
+                {
+                    let (head, tail) = zt.as_mut_slice().split_at_mut((i + 1) * n);
+                    let row_i = &mut head[i * n..];
+                    let row_i1 = &mut tail[..n];
+                    for (vi, vi1) in row_i.iter_mut().zip(row_i1.iter_mut()) {
+                        let f = *vi1;
+                        *vi1 = s * *vi + c * f;
+                        *vi = c * *vi - s * f;
+                    }
                 }
             }
             if r == 0.0 && m > l {
@@ -320,8 +335,9 @@ pub fn jacobi_eigh(a: &Matrix) -> Result<SymmetricEigen, LinalgError> {
     let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
     let mut vectors = Matrix::zeros(n, n);
     for (new_j, &old_j) in order.iter().enumerate() {
+        let col = v.col_view(old_j);
         for i in 0..n {
-            vectors[(i, new_j)] = v[(i, old_j)];
+            vectors[(i, new_j)] = col.get(i);
         }
     }
     Ok(SymmetricEigen { values, vectors })

@@ -30,11 +30,14 @@ pub mod svd;
 
 pub use cg::{conjugate_gradient, CgOptions, CgSolution};
 pub use cholesky::Cholesky;
-pub use dense::{add_vec, axpy, dot, norm1, norm2, norm_inf, sub_vec, Matrix};
+pub use dense::{add_vec, axpy, dot, norm1, norm2, norm_inf, sub_vec, ColView, Matrix};
 pub use eigen::{eigenvalues, eigh, jacobi_eigh, sqrt_psd, SymmetricEigen};
 pub use lu::Lu;
 pub use sparse::{SparseMatrix, TripletBuilder};
-pub use svd::{is_pseudoinverse, pseudoinverse, rank, singular_values};
+pub use svd::{
+    is_pseudoinverse, pseudoinverse, pseudoinverse_eigen, pseudoinverse_with_method, rank,
+    singular_values, PinvMethod,
+};
 
 /// Errors reported by the linear-algebra substrate.
 #[derive(Clone, Debug, PartialEq)]

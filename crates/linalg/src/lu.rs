@@ -103,7 +103,9 @@ impl Lu {
         Ok(y)
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `A X = B` column by column (transpose-once pattern: `B` is
+    /// transposed a single time so each column solve reads a contiguous
+    /// row instead of allocating a strided column copy).
     pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
         let n = self.lu.rows();
         if b.rows() != n {
@@ -112,11 +114,12 @@ impl Lu {
                 got: b.shape(),
             });
         }
+        let bt = b.transpose();
         let mut out = Matrix::zeros(n, b.cols());
         for j in 0..b.cols() {
-            let x = self.solve(&b.col(j))?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
+            let x = self.solve(bt.row(j))?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
             }
         }
         Ok(out)

@@ -16,12 +16,13 @@ use crate::LinalgError;
 
 /// Singular values of `a` in descending order.
 ///
-/// Computed from the smaller of the two Gram matrices (`AᵀA` or `AAᵀ`).
+/// Computed from the smaller of the two Gram matrices (`AᵀA` or `AAᵀ`),
+/// neither of which materializes a transpose.
 pub fn singular_values(a: &Matrix) -> Result<Vec<f64>, LinalgError> {
     let gram = if a.cols() <= a.rows() {
         a.gram()
     } else {
-        a.transpose().gram()
+        a.gram_t()
     };
     let mut vals: Vec<f64> = eigh(&gram)?
         .values
@@ -42,42 +43,71 @@ pub fn rank(a: &Matrix, tol: f64) -> Result<usize, LinalgError> {
     Ok(sv.iter().filter(|&&s| s > tol * smax).count())
 }
 
-/// Moore–Penrose pseudoinverse.
-///
-/// Fast paths:
-/// * full row rank: `A⁺ = Aᵀ (A Aᵀ)⁻¹` (right inverse),
-/// * full column rank: `A⁺ = (Aᵀ A)⁻¹ Aᵀ` (left inverse),
-///
-/// with an eigendecomposition-based general path when neither Gram matrix is
-/// positive definite (rank-deficient matrices).
-pub fn pseudoinverse(a: &Matrix) -> Result<Matrix, LinalgError> {
-    let (m, n) = a.shape();
-    if m == 0 || n == 0 {
-        return Ok(Matrix::zeros(n, m));
-    }
-    if m <= n {
-        // Try full row rank: A A^T is m x m.
-        let aat = a.transpose().gram(); // (Aᵀ)ᵀ(Aᵀ) = A Aᵀ
-        if let Ok(ch) = Cholesky::factor(&aat) {
-            let inv = ch.inverse()?;
-            return a.transpose().matmul(&inv);
-        }
-    } else {
-        // Try full column rank: AᵀA is n x n.
-        let ata = a.gram();
-        if let Ok(ch) = Cholesky::factor(&ata) {
-            let inv = ch.inverse()?;
-            return inv.matmul(&a.transpose());
-        }
-    }
-    pseudoinverse_via_eigen(a)
+/// How [`pseudoinverse_with_method`] derived `A⁺`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinvMethod {
+    /// `A Aᵀ` was SPD (full row rank): `A⁺ = Aᵀ (A Aᵀ)⁻¹` via one
+    /// Cholesky matrix solve. `A A⁺ = I` holds exactly; `A⁺ A = I` only
+    /// when `A` is square.
+    CholeskyRowRank,
+    /// `Aᵀ A` was SPD (full column rank): `A⁺ = (Aᵀ A)⁻¹ Aᵀ` via one
+    /// Cholesky matrix solve on the normal equations. `A⁺ A = I` holds
+    /// exactly — the property that lets the matrix mechanism skip its
+    /// support-condition check.
+    CholeskyColumnRank,
+    /// Neither Gram matrix was positive definite (rank deficient, or a
+    /// degenerate empty shape): the eigendecomposition fallback
+    /// [`pseudoinverse_eigen`] was used.
+    Eigen,
 }
 
-/// General pseudoinverse for rank-deficient matrices.
+/// Moore–Penrose pseudoinverse.
+///
+/// Fast paths (both a single Cholesky factorization plus one block
+/// triangular solve — no explicit inverse, no transpose of the result
+/// path's Gram matrix):
+/// * full row rank: `A⁺ = Aᵀ (A Aᵀ)⁻¹ = ((A Aᵀ)⁻¹ A)ᵀ`,
+/// * full column rank: `A⁺ = (Aᵀ A)⁻¹ Aᵀ` (Cholesky on the normal
+///   equations),
+///
+/// with the eigendecomposition-based [`pseudoinverse_eigen`] as the general
+/// fallback when neither Gram matrix is positive definite (rank-deficient
+/// matrices).
+pub fn pseudoinverse(a: &Matrix) -> Result<Matrix, LinalgError> {
+    Ok(pseudoinverse_with_method(a)?.0)
+}
+
+/// [`pseudoinverse`] plus a report of which derivation path was taken, so
+/// callers (the matrix mechanism) can exploit path-specific guarantees.
+pub fn pseudoinverse_with_method(a: &Matrix) -> Result<(Matrix, PinvMethod), LinalgError> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Ok((Matrix::zeros(n, m), PinvMethod::Eigen));
+    }
+    if m <= n {
+        // Try full row rank: A Aᵀ is m × m.
+        let aat = a.gram_t();
+        if let Ok(ch) = Cholesky::factor(&aat) {
+            let y = ch.solve_matrix(a)?; // (A Aᵀ)⁻¹ A
+            return Ok((y.transpose(), PinvMethod::CholeskyRowRank));
+        }
+    } else {
+        // Try full column rank: AᵀA is n × n.
+        let ata = a.gram();
+        if let Ok(ch) = Cholesky::factor(&ata) {
+            let p = ch.solve_matrix(&a.transpose())?; // (Aᵀ A)⁻¹ Aᵀ
+            return Ok((p, PinvMethod::CholeskyColumnRank));
+        }
+    }
+    Ok((pseudoinverse_eigen(a)?, PinvMethod::Eigen))
+}
+
+/// General pseudoinverse for rank-deficient matrices — also the reference
+/// implementation the property tests pin the Cholesky fast paths against.
 ///
 /// Uses `AᵀA = V diag(λ) Vᵀ`; then `A⁺ = V diag(λ⁺) Vᵀ Aᵀ` where
 /// `λ⁺ = 1/λ` on the numerically nonzero spectrum.
-fn pseudoinverse_via_eigen(a: &Matrix) -> Result<Matrix, LinalgError> {
+pub fn pseudoinverse_eigen(a: &Matrix) -> Result<Matrix, LinalgError> {
     let ata = a.gram();
     let eig = eigh(&ata)?;
     let lmax = eig.values.iter().fold(0.0_f64, |acc, &v| acc.max(v));

@@ -212,6 +212,20 @@ pub fn privelet_histogram_planned<R: Rng + ?Sized>(
     let mut buf = vec![0.0; plan.padded_size];
     copy_block(x, dims, &mut buf, padded_dims);
 
+    // 1-D fast path: the buffer *is* the single line, so transform it in
+    // place — no per-line scratch copies. Same operations in the same
+    // order as the generic path, hence bit-identical output; this is the
+    // inner loop of the grid strategies (2(k−1) planned calls per fit).
+    if padded_dims.len() == 1 {
+        haar_forward(&mut buf);
+        for (c, &w) in buf.iter_mut().zip(&plan.weights) {
+            *c += laplace(rng, plan.rho / (eps.value() * w));
+        }
+        haar_inverse(&mut buf);
+        buf.truncate(plan.size);
+        return Ok(buf);
+    }
+
     // Forward transform along each axis (weights come from the plan).
     for axis in 0..padded_dims.len() {
         let n = padded_dims[axis];

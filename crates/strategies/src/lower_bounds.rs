@@ -36,21 +36,27 @@ fn reduce_gram(m: &Matrix, inc: &Incidence) -> Matrix {
         .map(|r| g.replacement(g.component_of(g.orig_of(r))))
         .collect();
     let mut out = Matrix::zeros(rows, rows);
+    // Row-difference pattern: out[i][j] = d_i[o_j] − d_i[v*_j] where
+    // d_i = row_{o_i}(M) − row_{v*_i}(M) is computed once per output row
+    // as one contiguous pass, instead of four strided lookups per entry.
+    let mut diff = vec![0.0; m.cols()];
     for i in 0..rows {
         let oi = g.orig_of(i);
-        for j in 0..rows {
-            let oj = g.orig_of(j);
-            let mut v = m[(oi, oj)];
-            if let Some(vi) = vstar_of_row[i] {
-                v -= m[(vi, oj)];
+        match vstar_of_row[i] {
+            Some(vi) => {
+                for ((d, &a), &b) in diff.iter_mut().zip(m.row(oi)).zip(m.row(vi)) {
+                    *d = a - b;
+                }
             }
+            None => diff.copy_from_slice(m.row(oi)),
+        }
+        let orow = out.row_mut(i);
+        for (j, o) in orow.iter_mut().enumerate() {
+            let mut v = diff[g.orig_of(j)];
             if let Some(vj) = vstar_of_row[j] {
-                v -= m[(oi, vj)];
+                v -= diff[vj];
             }
-            if let (Some(vi), Some(vj)) = (vstar_of_row[i], vstar_of_row[j]) {
-                v += m[(vi, vj)];
-            }
-            out[(i, j)] = v;
+            *o = v;
         }
     }
     out

@@ -107,41 +107,8 @@ impl Estimate {
     /// construction-time invariants.
     pub fn answer(&self, q: &RangeQuery) -> Result<f64, StrategyError> {
         match self.domain.num_dims() {
-            1 => {
-                if q.lo.len() != 1
-                    || q.hi.len() != 1
-                    || q.lo[0] > q.hi[0]
-                    || q.hi[0] >= self.domain.dim(0)
-                {
-                    return Err(StrategyError::BadQuery {
-                        what: "1-D range answering requires 1-D in-range specs",
-                    });
-                }
-                Ok(DataVector::range_from_prefix(
-                    &self.prefix,
-                    q.lo[0],
-                    q.hi[0],
-                ))
-            }
-            2 => {
-                if q.lo.len() != 2
-                    || q.hi.len() != 2
-                    || q.lo[0] > q.hi[0]
-                    || q.lo[1] > q.hi[1]
-                    || q.hi[0] >= self.domain.dim(0)
-                    || q.hi[1] >= self.domain.dim(1)
-                {
-                    return Err(StrategyError::BadQuery {
-                        what: "2-D range answering requires 2-D in-range specs",
-                    });
-                }
-                Ok(DataVector::range_from_prefix_2d(
-                    &self.prefix,
-                    self.domain.dim(1),
-                    (q.lo[0], q.lo[1]),
-                    (q.hi[0], q.hi[1]),
-                ))
-            }
+            1 => self.answer_1d(self.domain.dim(0), q),
+            2 => self.answer_2d(self.domain.dim(0), self.domain.dim(1), q),
             _ => {
                 let cells = q.cells(&self.domain)?;
                 Ok(cells.into_iter().map(|c| self.histogram[c]).sum())
@@ -149,9 +116,80 @@ impl Estimate {
         }
     }
 
-    /// Answers a batch of range queries.
+    /// Validates and answers one 1-D query against the prefix sums. The
+    /// single shared body behind [`Estimate::answer`] and
+    /// [`Estimate::answer_many`], so the two entry points cannot diverge.
+    #[inline]
+    fn answer_1d(&self, k: usize, q: &RangeQuery) -> Result<f64, StrategyError> {
+        if q.lo.len() != 1 || q.hi.len() != 1 || q.lo[0] > q.hi[0] || q.hi[0] >= k {
+            return Err(StrategyError::BadQuery {
+                what: "1-D range answering requires 1-D in-range specs",
+            });
+        }
+        Ok(DataVector::range_from_prefix(
+            &self.prefix,
+            q.lo[0],
+            q.hi[0],
+        ))
+    }
+
+    /// Validates and answers one 2-D query against the summed-area table
+    /// (shared body, see [`Estimate::answer_1d`]).
+    #[inline]
+    fn answer_2d(&self, rows: usize, cols: usize, q: &RangeQuery) -> Result<f64, StrategyError> {
+        if q.lo.len() != 2
+            || q.hi.len() != 2
+            || q.lo[0] > q.hi[0]
+            || q.lo[1] > q.hi[1]
+            || q.hi[0] >= rows
+            || q.hi[1] >= cols
+        {
+            return Err(StrategyError::BadQuery {
+                what: "2-D range answering requires 2-D in-range specs",
+            });
+        }
+        Ok(DataVector::range_from_prefix_2d(
+            &self.prefix,
+            cols,
+            (q.lo[0], q.lo[1]),
+            (q.hi[0], q.hi[1]),
+        ))
+    }
+
+    /// Answers a batch of range queries with the dimensionality dispatch
+    /// hoisted out of the per-query loop: one match, then a tight
+    /// validate-and-difference loop over the prefix table. Produces
+    /// exactly the same values (and the same errors) as calling
+    /// [`Estimate::answer`] per query — both delegate to the same
+    /// per-query bodies.
+    pub fn answer_many(&self, specs: &[RangeQuery]) -> Result<Vec<f64>, StrategyError> {
+        let mut out = Vec::with_capacity(specs.len());
+        match self.domain.num_dims() {
+            1 => {
+                let k = self.domain.dim(0);
+                for q in specs {
+                    out.push(self.answer_1d(k, q)?);
+                }
+            }
+            2 => {
+                let (rows, cols) = (self.domain.dim(0), self.domain.dim(1));
+                for q in specs {
+                    out.push(self.answer_2d(rows, cols, q)?);
+                }
+            }
+            _ => {
+                for q in specs {
+                    out.push(self.answer(q)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Answers a batch of range queries (alias of [`Estimate::answer_many`],
+    /// kept for source compatibility).
     pub fn answer_all(&self, specs: &[RangeQuery]) -> Result<Vec<f64>, StrategyError> {
-        specs.iter().map(|s| self.answer(s)).collect()
+        self.answer_many(specs)
     }
 }
 
@@ -235,6 +273,40 @@ mod tests {
         let d1 = Domain::one_dim(2);
         let spec1d = RangeQuery::one_dim(&d1, 0, 1).unwrap();
         assert!(est2.answer(&spec1d).is_err());
+    }
+
+    #[test]
+    fn answer_many_matches_per_query_answers() {
+        // 1-D and 2-D batched paths must be bit-identical to the one-query
+        // path, and reject what it rejects.
+        let d = Domain::one_dim(16);
+        let hist: Vec<f64> = (0..16).map(|v| (v * 7 % 5) as f64).collect();
+        let est = Estimate::new(&d, hist).unwrap();
+        let specs: Vec<RangeQuery> = (0..16)
+            .flat_map(|lo| (lo..16).map(move |hi| (lo, hi)))
+            .map(|(lo, hi)| RangeQuery::one_dim(&d, lo, hi).unwrap())
+            .collect();
+        let batched = est.answer_many(&specs).unwrap();
+        let single: Vec<f64> = specs.iter().map(|q| est.answer(q).unwrap()).collect();
+        assert_eq!(batched, single);
+
+        let d2 = Domain::square(5);
+        let est2 = Estimate::new(&d2, (0..25).map(|v| v as f64).collect()).unwrap();
+        let specs2 = vec![
+            RangeQuery::new(&d2, vec![0, 0], vec![4, 4]).unwrap(),
+            RangeQuery::new(&d2, vec![1, 2], vec![3, 4]).unwrap(),
+            RangeQuery::new(&d2, vec![2, 2], vec![2, 2]).unwrap(),
+        ];
+        let batched2 = est2.answer_many(&specs2).unwrap();
+        let single2: Vec<f64> = specs2.iter().map(|q| est2.answer(q).unwrap()).collect();
+        assert_eq!(batched2, single2);
+
+        // A bad query anywhere in the batch is an error, same as answer().
+        let mut bad = RangeQuery::one_dim(&d, 1, 5).unwrap();
+        bad.lo = vec![9];
+        assert!(est.answer_many(&[bad]).is_err());
+        // Dimension mismatch rejected through the batched path too.
+        assert!(est.answer_many(&specs2).is_err());
     }
 
     #[test]

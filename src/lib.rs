@@ -80,7 +80,10 @@ pub mod prelude {
         Workload,
     };
     pub use blowfish_data::{dataset, DatasetId};
-    pub use blowfish_engine::{MechanismSpec, Plan, PlanCache, Policy, Session, Task};
+    pub use blowfish_engine::{
+        fit_cells, fit_cells_serial, parallel_map, FitCell, MechanismSpec, Plan, PlanCache, Policy,
+        Session, Task,
+    };
     pub use blowfish_mechanisms::{
         dawa_histogram, hierarchical_histogram, isotonic_non_decreasing, laplace_histogram,
         privelet_histogram, privelet_histogram_1d, privelet_histogram_planned, DawaOptions,

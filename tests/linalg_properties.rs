@@ -5,8 +5,9 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use blowfish_privacy::linalg::{
-    conjugate_gradient, eigh, is_pseudoinverse, jacobi_eigh, pseudoinverse, singular_values,
-    CgOptions, Cholesky, Lu, Matrix, SparseMatrix, TripletBuilder,
+    conjugate_gradient, eigh, is_pseudoinverse, jacobi_eigh, pseudoinverse, pseudoinverse_eigen,
+    pseudoinverse_with_method, singular_values, CgOptions, Cholesky, Lu, Matrix, PinvMethod,
+    SparseMatrix, TripletBuilder,
 };
 
 fn matrix_from(data: &[f64], n: usize, m: usize) -> Matrix {
@@ -139,6 +140,67 @@ proptest! {
         for (u, v) in cg.x.iter().zip(&direct) {
             prop_assert!((u - v).abs() < 1e-6, "{u} vs {v}");
         }
+    }
+
+    /// The register-blocked matmul is bit-close (≤ 1e-9) to the naive
+    /// i-k-j reference across random shapes straddling the unroll
+    /// boundary.
+    #[test]
+    fn blocked_matmul_matches_naive_reference(
+        data in vec(-2.0f64..2.0, 180),
+        m in 1usize..6,
+        k in 1usize..10,
+    ) {
+        // Shapes drawn so both operands fit in the 180-sample pool.
+        let p = ((180 - m * k) / k).clamp(1, 9);
+        let a = matrix_from(&data, m, k);
+        let b = matrix_from(&data[m * k..], k, p);
+        let fast = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        prop_assert!(fast.approx_eq(&naive, 1e-9));
+    }
+
+    /// Optimized gram (AᵀA) and gram_t (AAᵀ) agree with the naive
+    /// reference and with explicit transpose products.
+    #[test]
+    fn gram_kernels_match_naive_reference(
+        data in vec(-2.0f64..2.0, 48),
+        rows in 1usize..9,
+    ) {
+        let cols = (48 / rows.max(1)).clamp(1, 8);
+        let a = matrix_from(&data, rows, cols);
+        prop_assert!(a.gram().approx_eq(&a.gram_naive(), 1e-9));
+        prop_assert!(a.gram_t().approx_eq(&a.transpose().gram_naive(), 1e-9));
+        prop_assert!(a.gram_t().approx_eq(&a.matmul_naive(&a.transpose()).unwrap(), 1e-9));
+    }
+
+    /// The Cholesky fast-path pseudoinverses are bit-close (≤ 1e-9 on
+    /// well-conditioned inputs) to the eigendecomposition reference, and
+    /// report the expected derivation method.
+    #[test]
+    fn cholesky_pinv_matches_eigen_reference(
+        data in vec(-1.0f64..1.0, 40),
+        rows in 2usize..9,
+    ) {
+        let cols = 40 / 8; // 5 columns, rows 2..9: wide, square, and tall
+        let mut a = matrix_from(&data, rows, cols);
+        // Nudge toward full rank / good conditioning so both paths are
+        // numerically comparable at 1e-9.
+        for i in 0..rows.min(cols) {
+            a[(i, i)] += 3.0;
+        }
+        let (p, method) = pseudoinverse_with_method(&a).unwrap();
+        match method {
+            PinvMethod::CholeskyRowRank => prop_assert!(rows <= cols),
+            PinvMethod::CholeskyColumnRank => prop_assert!(rows > cols),
+            PinvMethod::Eigen => {}
+        }
+        let reference = pseudoinverse_eigen(&a).unwrap();
+        prop_assert!(
+            p.approx_eq(&reference, 1e-9 * (1.0 + reference.max_abs())),
+            "method {method:?}: Cholesky path diverged from eigen reference"
+        );
+        prop_assert!(is_pseudoinverse(&a, &p, 1e-6));
     }
 
     /// Sparse matmul agrees with dense matmul.

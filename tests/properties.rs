@@ -194,7 +194,9 @@ proptest! {
         prop_assert!((s - l1_sensitivity_unbounded(&w)).abs() < 1e-12);
     }
 
-    /// The spanner is always a tree with stretch ≤ 3, for any valid (k, θ).
+    /// The spanner is always a tree with stretch ≤ 3, for any valid (k, θ),
+    /// and the closed-form stretch certification agrees with the
+    /// graph-walk certifier (`stretch_through`) on every sampled shape.
     #[test]
     fn spanner_invariants(k in 6usize..60, theta in 1usize..5) {
         prop_assume!(k > theta);
@@ -203,5 +205,50 @@ proptest! {
         prop_assert!(sp.stretch <= 3);
         let total: usize = sp.groups.iter().map(|(s, e)| e - s).sum();
         prop_assert_eq!(total, k - 1);
+        let target = PolicyGraph::theta_line(k, theta).unwrap();
+        prop_assert_eq!(target.stretch_through(&sp.graph), Some(sp.stretch));
+    }
+
+    /// The θ-grid spanner's closed-form stretch certification agrees with
+    /// the graph-walk certifier (`stretch_through` against the full
+    /// `G^θ_{k²}` target) on randomized valid shapes. This guards the
+    /// effective privacy budget: the certified stretch divides ε
+    /// (`eps.for_stretch`), so a silently under-reported stretch would
+    /// weaken the `(ε, G^θ)` guarantee.
+    #[test]
+    fn theta_grid_stretch_closed_form_matches_bfs(theta in 1usize..8, blocks in 2usize..5) {
+        use blowfish_privacy::core::theta_grid_spanner;
+        let s = (theta / 2).max(1);
+        let k = s * blocks;
+        prop_assume!(k >= 2);
+        let sp = theta_grid_spanner(k, theta).unwrap();
+        let target = PolicyGraph::distance_threshold(sp.graph.domain().clone(), theta).unwrap();
+        let bfs = target.stretch_through(&sp.graph).unwrap();
+        prop_assert_eq!(sp.certify_stretch(theta).unwrap(), bfs);
+    }
+
+    /// Batched range answering (`Estimate::answer_many`) is bit-identical
+    /// to the per-query `Estimate::answer` loop on random histograms and
+    /// random range workloads (1-D and 2-D).
+    #[test]
+    fn answer_many_matches_per_query_answers(
+        data in vec(0.0f64..9.0, 64),
+        seed in 0u64..500,
+    ) {
+        use rand::SeedableRng;
+        let d1 = Domain::one_dim(64);
+        let est1 = Estimate::new(&d1, data.clone()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let specs1 = blowfish_privacy::core::random_range_specs(&d1, 50, &mut rng);
+        let batched: Vec<f64> = est1.answer_many(&specs1).unwrap();
+        let single: Vec<f64> = specs1.iter().map(|q| est1.answer(q).unwrap()).collect();
+        prop_assert_eq!(batched, single);
+
+        let d2 = Domain::square(8);
+        let est2 = Estimate::new(&d2, data).unwrap();
+        let specs2 = blowfish_privacy::core::random_range_specs(&d2, 50, &mut rng);
+        let batched2: Vec<f64> = est2.answer_many(&specs2).unwrap();
+        let single2: Vec<f64> = specs2.iter().map(|q| est2.answer(q).unwrap()).collect();
+        prop_assert_eq!(batched2, single2);
     }
 }
