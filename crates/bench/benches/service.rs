@@ -1,0 +1,199 @@
+//! Multi-tenant service throughput: N client threads vs one.
+//!
+//! One [`Service`] hosts four tenants sharing a `G^4_256` θ-line policy
+//! (so the shared plan cache holds exactly one strategy artifact across
+//! all of them) with effectively unbounded budgets. Two workloads:
+//!
+//! * **fit-dominated** — 512 release requests round-robined over the
+//!   tenants: the realistic "many tenants releasing estimates" traffic
+//!   where each request carries real mechanism work;
+//! * **mixed** — alternating releases and 200-query answer batches
+//!   against stored estimates (the `answer_many` O(1)-per-query path).
+//!
+//! Each workload is served twice: sequentially (`Service::handle` in a
+//! loop — one client thread) and fanned across cores
+//! (`Service::handle_many` → `parallel_map` — N client threads against
+//! the same `&Service`). After measuring, the bench *asserts* that
+//! multi-threaded fit throughput is at least 2x single-threaded (when
+//! ≥ 4 cores are available), and that `PlanStats` still shows the shared
+//! artifact was derived exactly once under all that concurrency — so a
+//! service-layer scalability regression fails `cargo bench --bench
+//! service` (and the CI `BLOWFISH_BENCH_QUICK=1` smoke step) instead of
+//! rotting silently. Results are snapshotted in `BENCH_service.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph};
+use blowfish_engine::{MechanismSpec, Request, Service, Task, TenantConfig};
+use blowfish_strategies::ThetaEstimator;
+
+const TENANTS: usize = 4;
+const K: usize = 256;
+const THETA: usize = 4;
+const REQUESTS: usize = 512;
+
+fn tenant_id(i: usize) -> String {
+    format!("tenant-{}", i % TENANTS)
+}
+
+fn build_service() -> Service {
+    let service = Service::new();
+    let graph = PolicyGraph::theta_line(K, THETA).expect("policy");
+    for t in 0..TENANTS {
+        let counts: Vec<f64> = (0..K).map(|i| ((i * 13 + t * 7) % 17) as f64).collect();
+        service
+            .add_tenant(TenantConfig {
+                id: tenant_id(t),
+                graph: graph.clone(),
+                eps: Epsilon::new(0.5).expect("ε"),
+                // Effectively unbounded: the bench measures throughput,
+                // not exhaustion (fits across all iterations must admit).
+                budget: Epsilon::new(1e12).expect("ε"),
+                data: DataVector::new(Domain::one_dim(K), counts).expect("data"),
+            })
+            .expect("tenant");
+    }
+    service
+}
+
+fn fit_request(i: usize) -> Request {
+    Request::Fit {
+        tenant: tenant_id(i),
+        spec: Some(MechanismSpec::ThetaLine {
+            theta: THETA,
+            estimator: ThetaEstimator::Laplace,
+        }),
+        task: Task::Histogram,
+        seed: i as u64,
+        handle: format!("h{}", i % 8),
+    }
+}
+
+fn fit_requests(n: usize) -> Vec<Request> {
+    (0..n).map(fit_request).collect()
+}
+
+fn mixed_requests(n: usize) -> Vec<Request> {
+    let d = Domain::one_dim(K);
+    let mut qrng = StdRng::seed_from_u64(42);
+    let queries = blowfish_core::random_range_specs(&d, 200, &mut qrng);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                fit_request(i)
+            } else {
+                Request::Answer {
+                    tenant: tenant_id(i),
+                    // The warm-up fitted handle h<t> for tenant-<t>.
+                    handle: format!("h{}", i % TENANTS),
+                    queries: queries.clone(),
+                }
+            }
+        })
+        .collect()
+}
+
+fn serve_serial(service: &Service, requests: &[Request]) -> usize {
+    let mut ok = 0;
+    for request in requests {
+        service.handle(request).expect("request");
+        ok += 1;
+    }
+    ok
+}
+
+fn serve_parallel(service: &Service, requests: &[Request]) -> usize {
+    let results = service.handle_many(requests);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(ok, requests.len(), "all bench requests must be admitted");
+    ok
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+
+    let service = build_service();
+    // Warm-up: derive the one shared artifact and store an answerable
+    // estimate h<t> per tenant, so answer requests always resolve.
+    for request in fit_requests(TENANTS) {
+        service.handle(&request).expect("warm-up fit");
+    }
+
+    let fits = fit_requests(REQUESTS);
+    g.bench_function("fit_512_serial", |b| {
+        b.iter(|| black_box(serve_serial(&service, &fits)))
+    });
+    g.bench_function("fit_512_parallel", |b| {
+        b.iter(|| black_box(serve_parallel(&service, &fits)))
+    });
+
+    let mixed = mixed_requests(REQUESTS);
+    g.bench_function("mixed_512_serial", |b| {
+        b.iter(|| black_box(serve_serial(&service, &mixed)))
+    });
+    g.bench_function("mixed_512_parallel", |b| {
+        b.iter(|| black_box(serve_parallel(&service, &mixed)))
+    });
+
+    g.finish();
+
+    // Structural invariant: all that concurrent traffic derived the
+    // shared θ-line artifact exactly once, across tenants and threads.
+    assert_eq!(
+        service.cache().stats().theta_line_builds(),
+        1,
+        "the four tenants must share one cached strategy artifact"
+    );
+
+    // Perf invariant: fanning clients across cores must pay. The 2x
+    // floor is deliberately loose: fits share no mutable state beyond
+    // O(1) ledger/memo lock windows, so the fit workload is expected to
+    // scale near-linearly with client threads. The assertion is gated to
+    // keep it from flaking where it cannot hold honestly:
+    //
+    // * < 4 cores — skipped entirely (on one core `parallel_map` falls
+    //   back to the serial path and the two sides time identically; see
+    //   BENCH_service.json for recorded environments);
+    // * quick mode (`BLOWFISH_BENCH_QUICK=1`, the CI smoke) — the ~10 ms
+    //   window times each batch over ~1 iteration, so on shared 4-vCPU
+    //   CI runners a noisy-neighbor run could land under 2x with no real
+    //   regression: quick mode asserts the 2x floor only with ≥ 8 cores
+    //   and otherwise checks the weaker "parallel must not *lose* to
+    //   serial by more than 25%" sanity bound. Full `cargo bench
+    //   --bench service` on ≥ 4 cores always enforces the 2x floor.
+    //
+    // NOTE: `is_test_mode`/`mean_ns` are extensions of the offline
+    // criterion *shim* — when swapping the real criterion crate in,
+    // delete this block (upstream tracks regressions via baselines).
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let quick = std::env::var("BLOWFISH_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    if !c.is_test_mode() && threads >= 4 {
+        let mean = |id: &str| {
+            c.mean_ns(id)
+                .unwrap_or_else(|| panic!("no timing for {id}"))
+        };
+        let (serial, parallel) = (
+            mean("service/fit_512_serial"),
+            mean("service/fit_512_parallel"),
+        );
+        if !quick || threads >= 8 {
+            assert!(
+                parallel * 2.0 < serial,
+                "multi-threaded service fit throughput ({parallel:.0} ns/batch) is no longer \
+                 ≥ 2x single-threaded ({serial:.0} ns/batch)"
+            );
+        } else {
+            assert!(
+                parallel < serial * 1.25,
+                "multi-threaded service fit ({parallel:.0} ns/batch) lost outright to \
+                 single-threaded ({serial:.0} ns/batch) on {threads} cores"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -5,6 +5,24 @@
 //! parallel composition (disjoint data shares one budget), and the
 //! Lemma 4.5 subgraph-approximation scaling (an `(ε, G′)` mechanism is
 //! `(ℓ·ε, G)`-private, so target budgets divide by the certified stretch).
+//!
+//! Two ledgers live here:
+//!
+//! * [`BudgetLedger`] — the original single-owner, `&mut`-style tracker
+//!   used inside individual experiments;
+//! * [`Ledger`] — the thread-safe **multi-tenant** ledger behind the
+//!   engine's `Service` layer: one privacy account per tenant, atomic
+//!   check-and-charge under sequential composition, parallel-composition
+//!   charging ([`Ledger::charge_parallel`], disjoint cells cost the max),
+//!   and stretch-scaled charging ([`Ledger::charge_stretched`], a
+//!   `(ε, G′)` release on a stretch-ℓ subgraph costs `ℓ·ε` against the
+//!   `G` account per Lemma 4.5). Over-budget requests are rejected with
+//!   the typed [`CoreError::BudgetExhausted`] and leave the account
+//!   untouched — spend is monotone and never exceeds the registered
+//!   total.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use crate::CoreError;
 
@@ -101,10 +119,10 @@ impl BudgetLedger {
     }
 
     /// Charges `eps` under `label`; errors when the total would be
-    /// exceeded (beyond a small floating-point slack).
+    /// exceeded (beyond the `overdraw_slack` float tolerance).
     pub fn charge(&mut self, label: &'static str, eps: Epsilon) -> Result<(), CoreError> {
         let new_total = self.spent + eps.value();
-        if new_total > self.total.value() * (1.0 + 1e-9) {
+        if new_total > self.total.value() + overdraw_slack(self.total.value()) {
             return Err(CoreError::BudgetExceeded {
                 total: self.total.value(),
                 attempted: new_total,
@@ -128,6 +146,249 @@ impl BudgetLedger {
     /// The charge history.
     pub fn entries(&self) -> &[(&'static str, f64)] {
         &self.entries
+    }
+}
+
+/// Float tolerance for budget admission checks: absorbs f64 summation
+/// error without licensing meaningful overdraws. The `1e-9` absolute
+/// floor covers human-scale budgets exactly as before; the `1e-12`
+/// *relative* term tracks accumulated rounding at large magnitudes (per
+/// charge the error is ~ulp(total) ≈ 2e-16·total, so `1e-12·total`
+/// absorbs thousands of charges) while keeping the admissible overdraw
+/// proportionally negligible — a 10¹² budget can exceed by at most
+/// ~1 ε, not the ~10³ ε a purely relative `1e-9` slack would allow.
+fn overdraw_slack(total: f64) -> f64 {
+    1e-9 + 1e-12 * total
+}
+
+/// Receipt for one successful [`Ledger`] charge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Charge {
+    /// The ε actually debited (after parallel-max / stretch scaling).
+    pub amount: f64,
+    /// Cumulative tenant spend after this charge.
+    pub spent: f64,
+    /// Budget remaining after this charge.
+    pub remaining: f64,
+}
+
+/// One consistent read of a tenant account, taken under a single lock
+/// acquisition so the fields cannot disagree with each other (reading
+/// them through separate calls can interleave with a concurrent charge).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccountSnapshot {
+    /// The registered total budget.
+    pub total: f64,
+    /// Cumulative ε spent.
+    pub spent: f64,
+    /// Budget remaining (never negative).
+    pub remaining: f64,
+    /// Number of admitted charges over the account's lifetime.
+    pub charges: usize,
+}
+
+/// Most recent charges retained per account for [`Ledger::history`]. The
+/// ledger is the long-running service's accounting backbone: an
+/// unbounded per-fit log would grow resident memory forever under
+/// sustained traffic, so the log is a ring of the latest entries while
+/// `spent`/`charges` keep exact lifetime totals.
+pub const MAX_HISTORY: usize = 1024;
+
+/// One tenant's privacy account.
+#[derive(Clone, Debug)]
+struct Account {
+    total: Epsilon,
+    spent: f64,
+    /// Lifetime count of admitted charges (history may be truncated).
+    charges: usize,
+    /// The most recent ≤ [`MAX_HISTORY`] charges, oldest first.
+    history: std::collections::VecDeque<(String, f64)>,
+}
+
+/// A thread-safe multi-tenant privacy ledger.
+///
+/// Each tenant owns one cumulative account: releases compose
+/// *sequentially* (spends add, Theorem 2.5-style), so the account is a
+/// hard cap on the total ε any adversary observes across every release
+/// the tenant ever requests. A charge either fits in the remaining budget
+/// and is applied atomically, or is rejected with the typed
+/// [`CoreError::BudgetExhausted`] **without** mutating the account —
+/// there is no partial debit and spend can never exceed the registered
+/// total (beyond the tiny `overdraw_slack` float tolerance) nor go
+/// negative.
+///
+/// The check-and-charge runs under one internal mutex, so concurrent
+/// chargers cannot jointly overdraw an account; the lock is held only for
+/// the O(1) account update, never across mechanism work.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    accounts: Mutex<HashMap<String, Account>>,
+}
+
+impl Ledger {
+    /// An empty ledger with no tenants.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Opens a tenant account with a total cumulative budget. Rejects a
+    /// tenant id that is already registered — budgets are append-only and
+    /// cannot be silently reset.
+    pub fn open(&self, tenant: &str, total: Epsilon) -> Result<(), CoreError> {
+        let mut accounts = self.accounts.lock().expect("ledger lock");
+        if accounts.contains_key(tenant) {
+            return Err(CoreError::DuplicateTenant {
+                tenant: tenant.to_string(),
+            });
+        }
+        accounts.insert(
+            tenant.to_string(),
+            Account {
+                total,
+                spent: 0.0,
+                charges: 0,
+                history: std::collections::VecDeque::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Charges `eps` to `tenant` under sequential composition. On success
+    /// returns the [`Charge`] receipt; when the remaining budget cannot
+    /// cover it, returns [`CoreError::BudgetExhausted`] and leaves the
+    /// account untouched.
+    pub fn charge(&self, tenant: &str, label: &str, eps: Epsilon) -> Result<Charge, CoreError> {
+        self.debit(tenant, label, eps.value())
+    }
+
+    /// Charges a *parallel composition* group: `parts` are the budgets of
+    /// sub-releases over **disjoint** data partitions, which jointly cost
+    /// only their maximum (parallel composition). The caller asserts
+    /// disjointness; the ledger applies the max-rule debit.
+    pub fn charge_parallel(
+        &self,
+        tenant: &str,
+        label: &str,
+        parts: &[Epsilon],
+    ) -> Result<Charge, CoreError> {
+        if parts.is_empty() {
+            return Err(CoreError::InvalidCharge {
+                reason: "parallel composition group is empty",
+            });
+        }
+        let amount = parts.iter().map(|e| e.value()).fold(0.0, f64::max);
+        self.debit(tenant, label, amount)
+    }
+
+    /// Charges a stretch-scaled release (Lemma 4.5): a mechanism that is
+    /// `(ε, G′)`-private on a subgraph `G′` whose certified stretch
+    /// through the tenant policy `G` is `ℓ` is `(ℓ·ε, G)`-private, so the
+    /// `G` account is debited `ℓ·ε`.
+    pub fn charge_stretched(
+        &self,
+        tenant: &str,
+        label: &str,
+        eps: Epsilon,
+        stretch: usize,
+    ) -> Result<Charge, CoreError> {
+        if stretch == 0 {
+            return Err(CoreError::InvalidCharge {
+                reason: "stretch must be at least 1",
+            });
+        }
+        self.debit(tenant, label, eps.value() * stretch as f64)
+    }
+
+    /// The single atomic check-and-debit every charge path funnels into.
+    fn debit(&self, tenant: &str, label: &str, amount: f64) -> Result<Charge, CoreError> {
+        let mut accounts = self.accounts.lock().expect("ledger lock");
+        let account = accounts
+            .get_mut(tenant)
+            .ok_or_else(|| CoreError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })?;
+        let new_spent = account.spent + amount;
+        if new_spent > account.total.value() + overdraw_slack(account.total.value()) {
+            return Err(CoreError::BudgetExhausted {
+                tenant: tenant.to_string(),
+                total: account.total.value(),
+                spent: account.spent,
+                requested: amount,
+            });
+        }
+        account.spent = new_spent;
+        account.charges += 1;
+        if account.history.len() == MAX_HISTORY {
+            account.history.pop_front();
+        }
+        account.history.push_back((label.to_string(), amount));
+        Ok(Charge {
+            amount,
+            spent: new_spent,
+            remaining: (account.total.value() - new_spent).max(0.0),
+        })
+    }
+
+    /// Cumulative spend of a tenant.
+    pub fn spent(&self, tenant: &str) -> Result<f64, CoreError> {
+        self.with_account(tenant, |a| a.spent)
+    }
+
+    /// Remaining budget of a tenant (never negative).
+    pub fn remaining(&self, tenant: &str) -> Result<f64, CoreError> {
+        self.with_account(tenant, |a| (a.total.value() - a.spent).max(0.0))
+    }
+
+    /// Registered total budget of a tenant.
+    pub fn total(&self, tenant: &str) -> Result<f64, CoreError> {
+        self.with_account(tenant, |a| a.total.value())
+    }
+
+    /// The most recent `(label, ε)` charges of a tenant, oldest first —
+    /// a bounded ring of the latest [`MAX_HISTORY`] entries (`spent` and
+    /// [`Ledger::charge_count`] keep exact lifetime totals regardless of
+    /// truncation). Clones the retained entries — for dashboards and
+    /// tests; hot paths that only need the count should use
+    /// [`Ledger::charge_count`].
+    pub fn history(&self, tenant: &str) -> Result<Vec<(String, f64)>, CoreError> {
+        self.with_account(tenant, |a| a.history.iter().cloned().collect())
+    }
+
+    /// Lifetime number of admitted charges on a tenant's account —
+    /// O(1), exact even once [`Ledger::history`] has truncated.
+    pub fn charge_count(&self, tenant: &str) -> Result<usize, CoreError> {
+        self.with_account(tenant, |a| a.charges)
+    }
+
+    /// One consistent view of a tenant account (total, spent, remaining,
+    /// lifetime charge count) under a single lock acquisition — fields
+    /// read via separate calls can interleave with concurrent charges
+    /// and disagree with each other.
+    pub fn snapshot(&self, tenant: &str) -> Result<AccountSnapshot, CoreError> {
+        self.with_account(tenant, |a| AccountSnapshot {
+            total: a.total.value(),
+            spent: a.spent,
+            remaining: (a.total.value() - a.spent).max(0.0),
+            charges: a.charges,
+        })
+    }
+
+    /// Registered tenant ids, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let accounts = self.accounts.lock().expect("ledger lock");
+        let mut ids: Vec<String> = accounts.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    fn with_account<T>(&self, tenant: &str, f: impl FnOnce(&Account) -> T) -> Result<T, CoreError> {
+        let accounts = self.accounts.lock().expect("ledger lock");
+        accounts
+            .get(tenant)
+            .map(f)
+            .ok_or_else(|| CoreError::UnknownTenant {
+                tenant: tenant.to_string(),
+            })
     }
 }
 
@@ -179,5 +440,158 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Epsilon::new(0.5).unwrap().to_string(), "ε=0.5");
+    }
+
+    #[test]
+    fn ledger_open_and_duplicate() {
+        let ledger = Ledger::new();
+        ledger.open("alice", Epsilon::new(1.0).unwrap()).unwrap();
+        assert!(matches!(
+            ledger.open("alice", Epsilon::new(2.0).unwrap()),
+            Err(CoreError::DuplicateTenant { .. })
+        ));
+        ledger.open("bob", Epsilon::new(0.5).unwrap()).unwrap();
+        assert_eq!(ledger.tenants(), vec!["alice", "bob"]);
+        assert!(matches!(
+            ledger.spent("carol"),
+            Err(CoreError::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn ledger_sequential_charges_and_exhaustion() {
+        let ledger = Ledger::new();
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        let c1 = ledger
+            .charge("t", "fit-1", Epsilon::new(0.4).unwrap())
+            .unwrap();
+        assert!((c1.amount - 0.4).abs() < 1e-12);
+        let c2 = ledger
+            .charge("t", "fit-2", Epsilon::new(0.6).unwrap())
+            .unwrap();
+        assert!((c2.spent - 1.0).abs() < 1e-12);
+        assert!(c2.remaining < 1e-12);
+        // The rejection is typed and leaves the account untouched.
+        let err = ledger
+            .charge("t", "fit-3", Epsilon::new(0.1).unwrap())
+            .unwrap_err();
+        match err {
+            CoreError::BudgetExhausted {
+                tenant,
+                total,
+                spent,
+                requested,
+            } => {
+                assert_eq!(tenant, "t");
+                assert!((total - 1.0).abs() < 1e-12);
+                assert!((spent - 1.0).abs() < 1e-12);
+                assert!((requested - 0.1).abs() < 1e-12);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        assert!((ledger.spent("t").unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(ledger.history("t").unwrap().len(), 2);
+        assert_eq!(ledger.charge_count("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn ledger_parallel_charges_max() {
+        let ledger = Ledger::new();
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        let parts = [
+            Epsilon::new(0.2).unwrap(),
+            Epsilon::new(0.7).unwrap(),
+            Epsilon::new(0.5).unwrap(),
+        ];
+        let c = ledger.charge_parallel("t", "cells", &parts).unwrap();
+        assert!((c.amount - 0.7).abs() < 1e-12);
+        assert!(ledger.charge_parallel("t", "none", &[]).is_err());
+    }
+
+    #[test]
+    fn ledger_stretch_scales_the_debit() {
+        let ledger = Ledger::new();
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        // (0.2, G′) at stretch 3 costs 0.6 against G (Lemma 4.5).
+        let c = ledger
+            .charge_stretched("t", "spanner", Epsilon::new(0.2).unwrap(), 3)
+            .unwrap();
+        assert!((c.amount - 0.6).abs() < 1e-12);
+        assert!(ledger
+            .charge_stretched("t", "bad", Epsilon::new(0.2).unwrap(), 0)
+            .is_err());
+        // A stretch that overshoots the remaining budget is rejected.
+        assert!(matches!(
+            ledger.charge_stretched("t", "over", Epsilon::new(0.2).unwrap(), 3),
+            Err(CoreError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn history_is_a_bounded_ring_while_totals_stay_exact() {
+        let ledger = Ledger::new();
+        ledger.open("t", Epsilon::new(1e9).unwrap()).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let n = MAX_HISTORY + 50;
+        for i in 0..n {
+            ledger.charge("t", &format!("c{i}"), eps).unwrap();
+        }
+        // The log keeps only the newest MAX_HISTORY entries…
+        let history = ledger.history("t").unwrap();
+        assert_eq!(history.len(), MAX_HISTORY);
+        assert_eq!(history[0].0, "c50", "oldest retained entry");
+        assert_eq!(history.last().unwrap().0, format!("c{}", n - 1));
+        // …while lifetime accounting stays exact.
+        assert_eq!(ledger.charge_count("t").unwrap(), n);
+        assert!((ledger.spent("t").unwrap() - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent() {
+        let ledger = Ledger::new();
+        ledger.open("t", Epsilon::new(2.0).unwrap()).unwrap();
+        ledger.charge("t", "a", Epsilon::new(0.5).unwrap()).unwrap();
+        let snap = ledger.snapshot("t").unwrap();
+        assert_eq!(
+            snap,
+            AccountSnapshot {
+                total: 2.0,
+                spent: 0.5,
+                remaining: 1.5,
+                charges: 1,
+            }
+        );
+        assert!(matches!(
+            ledger.snapshot("ghost"),
+            Err(CoreError::UnknownTenant { .. })
+        ));
+    }
+
+    #[test]
+    fn ledger_concurrent_charges_never_overdraw() {
+        use std::sync::Arc;
+        let ledger = Arc::new(Ledger::new());
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        let eps = Epsilon::new(0.01).unwrap();
+        let successes: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let ledger = Arc::clone(&ledger);
+                    scope.spawn(move || {
+                        (0..50)
+                            .filter(|_| ledger.charge("t", "spin", eps).is_ok())
+                            .count()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        // 400 attempted charges of 0.01 against a budget of 1.0: exactly
+        // 100 can fit, regardless of interleaving.
+        assert_eq!(successes, 100);
+        assert!((ledger.spent("t").unwrap() - 1.0).abs() < 1e-9);
+        assert!(ledger.remaining("t").unwrap() >= 0.0);
     }
 }

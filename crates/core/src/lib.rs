@@ -65,7 +65,7 @@ pub mod sensitivity;
 pub mod spanner;
 pub mod workload;
 
-pub use accounting::{BudgetLedger, Delta, Epsilon};
+pub use accounting::{AccountSnapshot, BudgetLedger, Charge, Delta, Epsilon, Ledger};
 pub use database::DataVector;
 pub use domain::Domain;
 pub use error_measure::{measure_error, mse_per_query, ErrorReport};
@@ -86,7 +86,7 @@ pub use workload::{
 
 /// One-stop imports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::accounting::{Delta, Epsilon};
+    pub use crate::accounting::{Charge, Delta, Epsilon, Ledger};
     pub use crate::database::DataVector;
     pub use crate::domain::Domain;
     pub use crate::error_measure::{measure_error, mse_per_query, ErrorReport};
@@ -174,6 +174,35 @@ pub enum CoreError {
         /// The attempted cumulative spend.
         attempted: f64,
     },
+    /// A multi-tenant [`Ledger`] charge would exceed the tenant's
+    /// cumulative budget; the account was left untouched.
+    BudgetExhausted {
+        /// The tenant whose account rejected the charge.
+        tenant: String,
+        /// The tenant's registered total budget.
+        total: f64,
+        /// Spend already accumulated (unchanged by this rejection).
+        spent: f64,
+        /// The ε the rejected charge requested.
+        requested: f64,
+    },
+    /// A [`Ledger`] operation referenced an unregistered tenant.
+    UnknownTenant {
+        /// The unregistered tenant id.
+        tenant: String,
+    },
+    /// A [`Ledger::open`] call reused an already-registered tenant id.
+    DuplicateTenant {
+        /// The already-registered tenant id.
+        tenant: String,
+    },
+    /// A malformed [`Ledger`] charge (empty parallel group, zero
+    /// stretch) — distinct from [`CoreError::InvalidEpsilon`], which is
+    /// about the ε value itself.
+    InvalidCharge {
+        /// Why the charge was rejected.
+        reason: &'static str,
+    },
     /// An underlying linear-algebra failure.
     Linalg(blowfish_linalg::LinalgError),
 }
@@ -217,6 +246,20 @@ impl std::fmt::Display for CoreError {
             CoreError::BudgetExceeded { total, attempted } => {
                 write!(f, "budget exceeded: {attempted} > {total}")
             }
+            CoreError::BudgetExhausted {
+                tenant,
+                total,
+                spent,
+                requested,
+            } => write!(
+                f,
+                "budget exhausted for tenant {tenant}: spent {spent} of {total}, requested {requested}"
+            ),
+            CoreError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            CoreError::DuplicateTenant { tenant } => {
+                write!(f, "tenant {tenant} is already registered")
+            }
+            CoreError::InvalidCharge { reason } => write!(f, "invalid charge: {reason}"),
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
     }

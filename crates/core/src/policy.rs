@@ -303,6 +303,24 @@ impl PolicyGraph {
         !self.bottom_adj.is_empty()
     }
 
+    /// A canonical structural hash of the graph: a deterministic digest of
+    /// the domain shape and the canonicalized edge list (edges are stored
+    /// canonically — `u < v`, ⊥ second — so the digest is independent of
+    /// the order endpoints were given in). Intentionally *not* a function
+    /// of the display [`PolicyGraph::name`]: equal structures hash equal,
+    /// which makes this usable as a cache key with an equality fallback
+    /// for collisions.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.domain.num_dims().hash(&mut h);
+        for d in 0..self.domain.num_dims() {
+            self.domain.dim(d).hash(&mut h);
+        }
+        self.edges.hash(&mut h);
+        h.finish()
+    }
+
     /// Degree of a value vertex (counting a ⊥-edge if present).
     pub fn degree(&self, u: usize) -> usize {
         self.adj[u].len()
@@ -635,6 +653,36 @@ mod tests {
         for e in a.edges() {
             assert!(b.edges().contains(e));
         }
+    }
+
+    #[test]
+    fn structural_hash_ignores_names_but_not_structure() {
+        let a = PolicyGraph::line(8).unwrap();
+        let b = PolicyGraph::theta_line(8, 1).unwrap();
+        // Same structure (line ≡ θ=1), same name-independent digest.
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        // Renamed but structurally identical: same digest.
+        let renamed =
+            PolicyGraph::from_edges(Domain::one_dim(8), a.edges().to_vec(), "other").unwrap();
+        assert_eq!(a.structural_hash(), renamed.structural_hash());
+        // Different structure: different digest (with overwhelming
+        // probability for these tiny fixed graphs).
+        assert_ne!(
+            a.structural_hash(),
+            PolicyGraph::star(8).unwrap().structural_hash()
+        );
+        assert_ne!(
+            a.structural_hash(),
+            PolicyGraph::line(9).unwrap().structural_hash()
+        );
+        // A 1-D domain of size 8 vs an 8-cell 2-D domain with the same
+        // flat edge list must not collide structurally.
+        assert_ne!(
+            a.structural_hash(),
+            PolicyGraph::from_edges(Domain::product(&[2, 4]).unwrap(), a.edges().to_vec(), "2d")
+                .unwrap()
+                .structural_hash()
+        );
     }
 
     #[test]

@@ -1,30 +1,46 @@
 //! # blowfish-engine
 //!
-//! The plan-once/serve-many engine layer of the `blowfish-privacy`
-//! workspace: one uniform entry point to every baseline and policy-aware
-//! strategy, with per-policy artifacts planned once and served many
-//! times.
+//! The serving stack of the `blowfish-privacy` workspace: one uniform
+//! entry point to every baseline and policy-aware strategy, from a
+//! single planned fit all the way up to a concurrent, budget-metered
+//! multi-tenant service.
 //!
-//! Transformational equivalence (Section 4 of *Haney, Machanavajjhala &
-//! Ding, VLDB 2015*) makes every DP algorithm a candidate policy-aware
-//! strategy — but the expensive parts (the incidence matrix `P_G`, the
-//! `H^θ` spanners with certified stretch, Haar wavelet plans,
-//! matrix-mechanism pseudoinverses `A⁺`) depend only on `(domain,
-//! policy)`, not on the data. This crate splits the two:
+//! ## Ownership: Service → Session → Plan
 //!
-//! * [`MechanismSpec`] — the registry: every baseline and Blowfish
-//!   strategy enumerable by stable id and figure-legend label.
-//! * [`PlanCache`] — derives each artifact exactly once, with build
-//!   counters ([`plan::PlanStats`]) proving nothing is re-derived on the
-//!   serve path.
+//! The layers nest top-down; each owns (or shares) exactly the state the
+//! layer below needs:
+//!
+//! * [`Service`] — the long-running, multi-tenant face. Owns **one**
+//!   shared `Arc<`[`PlanCache`]`>` (artifacts derive exactly once across
+//!   all tenants), **one** thread-safe [`Ledger`](blowfish_core::Ledger)
+//!   (per-tenant cumulative ε accounts), and a [`Session`] per tenant
+//!   with the tenant's registered data. Clients speak the typed
+//!   [`Request`]/[`Response`] API ([`service::Request::Plan`] /
+//!   `Fit` / `Answer` / `Stats`); [`Service::handle_many`] fans request
+//!   batches across cores. The [`wire`] module gives the same API a
+//!   newline-delimited text form (the `blowfish-serve` bin).
 //! * [`Session`] — binds `(Domain, policy, ε)`, classifies the policy
-//!   graph ([`Policy::from_graph`]), memoizes mechanisms, and plans the
-//!   paper-recommended strategy per [`Task`].
-//! * [`parallel`] — scoped-thread fan-out ([`parallel_map`],
-//!   [`fit_cells`]) serving independent panel/session cells across cores
-//!   with output bit-identical to the serial path.
+//!   graph ([`Policy::from_graph`]), memoizes mechanisms against its
+//!   plan cache, and plans the paper-recommended strategy per [`Task`].
+//!   Standalone sessions own a private cache and are unmetered (ε is a
+//!   per-release parameter, the one-shot experiment shape); a `Service`
+//!   session shares the service cache ([`Session::with_cache`]) and
+//!   draws every [`Session::fit`]'s exact reported ε
+//!   ([`blowfish_strategies::Mechanism::epsilon`]) from its tenant's
+//!   ledger account first — over budget means a typed
+//!   `CoreError::BudgetExhausted` rejection *before* any noise is drawn.
+//! * [`Plan`] — one chosen spec plus its live mechanism. Fitting
+//!   produces an [`blowfish_strategies::Estimate`] answering 1-D/2-D
+//!   range batches in O(1) per query.
 //!
-//! ## Quickstart
+//! Supporting cast: [`MechanismSpec`] (the registry — every baseline and
+//! Blowfish strategy by stable id), [`PlanCache`] (lock-striped,
+//! structurally-hash-keyed artifact store with [`plan::PlanStats`]
+//! build counters proving derive-once behaviour under concurrency), and
+//! [`parallel`] (scoped-thread fan-out with output bit-identical to the
+//! serial path).
+//!
+//! ## Quickstart: one session
 //!
 //! ```
 //! use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph};
@@ -51,16 +67,45 @@
 //! let lineup = session.registry(Task::Range1d).unwrap();
 //! assert_eq!(lineup.len(), 5);
 //! ```
+//!
+//! ## Quickstart: a metered service
+//!
+//! ```
+//! use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph};
+//! use blowfish_engine::{Request, Service, Task, TenantConfig};
+//!
+//! let service = Service::new();
+//! service.add_tenant(TenantConfig {
+//!     id: "acme".into(),
+//!     graph: PolicyGraph::line(16).unwrap(),
+//!     eps: Epsilon::new(0.5).unwrap(),      // per-release grant
+//!     budget: Epsilon::new(1.0).unwrap(),   // lifetime budget: 2 fits
+//!     data: DataVector::new(Domain::one_dim(16), vec![3.0; 16]).unwrap(),
+//! }).unwrap();
+//!
+//! let fit = |seed, handle: &str| Request::Fit {
+//!     tenant: "acme".into(), spec: None, task: Task::Histogram,
+//!     seed, handle: handle.into(),
+//! };
+//! assert!(service.handle(&fit(1, "a")).is_ok());
+//! assert!(service.handle(&fit(2, "b")).is_ok());
+//! // The third release would exceed the account: typed rejection.
+//! assert!(service.handle(&fit(3, "c")).unwrap_err().is_budget_exhausted());
+//! ```
 
 pub mod parallel;
 pub mod plan;
+pub mod service;
 pub mod session;
 pub mod spec;
+pub mod wire;
 
 pub use parallel::{fit_cells, fit_cells_serial, parallel_map, FitCell};
 pub use plan::{PlanCache, PlanStats};
-pub use session::{Plan, Policy, Session};
+pub use service::{Request, Response, Service, TenantConfig, TenantStats};
+pub use session::{Fitted, Plan, Policy, Session};
 pub use spec::{MechanismSpec, Task};
+pub use wire::{handle_line, WireReply};
 
 use blowfish_core::CoreError;
 use blowfish_mechanisms::MechanismError;
@@ -81,6 +126,31 @@ pub enum EngineError {
     Core(CoreError),
     /// An error from a mechanism substrate.
     Mechanism(MechanismError),
+    /// A service request named an unregistered tenant.
+    UnknownTenant {
+        /// The unregistered tenant id.
+        tenant: String,
+    },
+    /// A service answer request named a handle with no stored estimate.
+    UnknownEstimate {
+        /// The unknown estimate handle.
+        handle: String,
+    },
+    /// A malformed service/wire request.
+    BadRequest {
+        /// What was malformed.
+        what: String,
+    },
+}
+
+impl EngineError {
+    /// Whether this error is the typed budget-exhaustion rejection
+    /// (`CoreError::BudgetExhausted`) — the signal a service client
+    /// should treat as "this tenant's privacy budget is spent", distinct
+    /// from every other failure.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, EngineError::Core(CoreError::BudgetExhausted { .. }))
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -90,6 +160,11 @@ impl std::fmt::Display for EngineError {
             EngineError::Strategy(e) => write!(f, "strategy error: {e}"),
             EngineError::Core(e) => write!(f, "core error: {e}"),
             EngineError::Mechanism(e) => write!(f, "mechanism error: {e}"),
+            EngineError::UnknownTenant { tenant } => write!(f, "unknown tenant {tenant}"),
+            EngineError::UnknownEstimate { handle } => {
+                write!(f, "no estimate stored under handle {handle}")
+            }
+            EngineError::BadRequest { what } => write!(f, "bad request: {what}"),
         }
     }
 }

@@ -10,8 +10,24 @@
 //! Build counts are tracked in [`PlanStats`] so callers (tests, the
 //! `engine` criterion bench) can *prove* the cache is not silently
 //! re-deriving artifacts on the hot path.
+//!
+//! ## Concurrency
+//!
+//! The cache is **lock-striped**: every artifact class is a set of
+//! independent mutex-guarded shards, and a key hashes to exactly one
+//! shard. Concurrent planners working on *different* artifacts proceed in
+//! parallel (they almost always land on different stripes), while racing
+//! requests for the *same* key serialize on one stripe and still derive
+//! the artifact exactly once — the build runs under the stripe lock, so
+//! [`PlanStats`] counters are exact even under contention. Incidence
+//! matrices are keyed by [`PolicyGraph::structural_hash`] with a
+//! collision-checked structural-equality fallback (the old
+//! implementation linearly scanned a single `Mutex<Vec>`, serializing
+//! every planner through one lock and one O(n) walk).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -68,17 +84,79 @@ impl PlanStats {
     }
 }
 
-/// Shared, thread-safe store of precomputed strategy artifacts for one
-/// `(domain, policy)` pair.
+/// Number of independent mutex shards per artifact class. Small powers of
+/// two beyond the bench container's core count buy nothing; 16 keeps the
+/// struct compact while making same-stripe collisions between *distinct*
+/// hot keys rare.
+const STRIPES: usize = 16;
+
+/// A lock-striped hash map: a key hashes to one of [`STRIPES`] independent
+/// `Mutex<HashMap>` shards. Builds run **under the stripe lock**, so a
+/// cold key is derived exactly once no matter how many threads race it,
+/// while keys on different stripes build fully in parallel.
+#[derive(Debug)]
+struct Striped<K, V> {
+    stripes: Vec<Mutex<HashMap<K, V>>>,
+}
+
+impl<K, V> Default for Striped<K, V> {
+    fn default() -> Self {
+        Striped {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Striped<K, V> {
+    fn stripe(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % STRIPES]
+    }
+
+    /// Returns the cached value for `key`, or builds, counts, and caches
+    /// it. The build runs under the stripe lock (exactly-once semantics);
+    /// `counter` is bumped only on an actual derivation.
+    fn get_or_build<E>(
+        &self,
+        key: K,
+        counter: &AtomicUsize,
+        build: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E> {
+        let mut map = self.stripe(&key).lock().expect("plan cache stripe lock");
+        if let Some(v) = map.get(&key) {
+            return Ok(v.clone());
+        }
+        let v = build()?;
+        counter.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, v.clone());
+        Ok(v)
+    }
+}
+
+/// Whether two policy graphs are structurally identical — same domain
+/// shape and same canonical edge list. The display name is deliberately
+/// ignored: `Incidence` is a pure function of `(domain, edges)`, so
+/// structurally equal graphs may soundly share one `P_G`.
+fn structurally_equal(a: &PolicyGraph, b: &PolicyGraph) -> bool {
+    a.domain() == b.domain() && a.edges() == b.edges()
+}
+
+/// Shared, thread-safe store of precomputed strategy artifacts. One cache
+/// may serve many sessions (the `Service` layer hands every tenant the
+/// same `Arc<PlanCache>`): keys are policy-parameterized, so tenants with
+/// the same `(domain, policy)` share artifacts and tenants with different
+/// policies never collide.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    /// Incidences keyed by their policy graph (linear scan: a cache sees
-    /// one, rarely a few, graphs over its lifetime).
-    incidence: Mutex<Vec<(PolicyGraph, Arc<Incidence>)>>,
-    theta_line: Mutex<HashMap<(usize, usize), Arc<ThetaLineStrategy>>>,
-    theta_grid: Mutex<HashMap<(usize, usize), Arc<ThetaGridStrategy>>>,
-    grid_plans: Mutex<HashMap<(usize, usize), GridPlans>>,
-    matrix: Mutex<HashMap<String, Arc<MatrixMechanism>>>,
+    /// Incidences keyed by [`PolicyGraph::structural_hash`]; each bucket
+    /// holds the graphs that hashed there, compared structurally
+    /// (collision-checked equality fallback).
+    incidence: Striped<u64, Vec<(PolicyGraph, Arc<Incidence>)>>,
+    theta_line: Striped<(usize, usize), Arc<ThetaLineStrategy>>,
+    theta_grid: Striped<(usize, usize), Arc<ThetaGridStrategy>>,
+    grid_plans: Striped<(usize, usize), GridPlans>,
+    matrix: Striped<String, Arc<MatrixMechanism>>,
     stats: PlanStats,
 }
 
@@ -94,15 +172,23 @@ impl PlanCache {
     }
 
     /// The incidence matrix `P_G` of `graph`, derived at most once per
-    /// distinct graph.
+    /// structurally distinct graph: lookup is by canonical structural
+    /// hash, with an equality walk over the (almost always singleton)
+    /// collision bucket.
     pub fn incidence(&self, graph: &PolicyGraph) -> Result<Arc<Incidence>, EngineError> {
-        let mut slots = self.incidence.lock().expect("plan cache lock");
-        if let Some((_, inc)) = slots.iter().find(|(g, _)| g == graph) {
+        let key = graph.structural_hash();
+        let mut map = self
+            .incidence
+            .stripe(&key)
+            .lock()
+            .expect("plan cache stripe lock");
+        let bucket = map.entry(key).or_default();
+        if let Some((_, inc)) = bucket.iter().find(|(g, _)| structurally_equal(g, graph)) {
             return Ok(Arc::clone(inc));
         }
         let inc = Arc::new(Incidence::new(graph)?);
         self.stats.incidence.fetch_add(1, Ordering::Relaxed);
-        slots.push((graph.clone(), Arc::clone(&inc)));
+        bucket.push((graph.clone(), Arc::clone(&inc)));
         Ok(inc)
     }
 
@@ -110,12 +196,18 @@ impl PlanCache {
     /// classifying the policy graph), counting the derivation, so the
     /// first mechanism build does not repeat it.
     pub(crate) fn seed_incidence(&self, graph: &PolicyGraph, inc: Arc<Incidence>) {
-        let mut slots = self.incidence.lock().expect("plan cache lock");
-        if slots.iter().any(|(g, _)| g == graph) {
+        let key = graph.structural_hash();
+        let mut map = self
+            .incidence
+            .stripe(&key)
+            .lock()
+            .expect("plan cache stripe lock");
+        let bucket = map.entry(key).or_default();
+        if bucket.iter().any(|(g, _)| structurally_equal(g, graph)) {
             return;
         }
         self.stats.incidence.fetch_add(1, Ordering::Relaxed);
-        slots.push((graph.clone(), inc));
+        bucket.push((graph.clone(), inc));
     }
 
     /// The prepared `G^θ_k` strategy (spanner, incidence, group Haar
@@ -125,14 +217,10 @@ impl PlanCache {
         k: usize,
         theta: usize,
     ) -> Result<Arc<ThetaLineStrategy>, EngineError> {
-        let mut map = self.theta_line.lock().expect("plan cache lock");
-        if let Some(s) = map.get(&(k, theta)) {
-            return Ok(Arc::clone(s));
-        }
-        let s = Arc::new(ThetaLineStrategy::new(k, theta)?);
-        self.stats.theta_line.fetch_add(1, Ordering::Relaxed);
-        map.insert((k, theta), Arc::clone(&s));
-        Ok(s)
+        self.theta_line
+            .get_or_build((k, theta), &self.stats.theta_line, || {
+                Ok(Arc::new(ThetaLineStrategy::new(k, theta)?))
+            })
     }
 
     /// The prepared `G^θ_{k²}` strategy, derived at most once per
@@ -142,27 +230,19 @@ impl PlanCache {
         k: usize,
         theta: usize,
     ) -> Result<Arc<ThetaGridStrategy>, EngineError> {
-        let mut map = self.theta_grid.lock().expect("plan cache lock");
-        if let Some(s) = map.get(&(k, theta)) {
-            return Ok(Arc::clone(s));
-        }
-        let s = Arc::new(ThetaGridStrategy::new(k, theta)?);
-        self.stats.theta_grid.fetch_add(1, Ordering::Relaxed);
-        map.insert((k, theta), Arc::clone(&s));
-        Ok(s)
+        self.theta_grid
+            .get_or_build((k, theta), &self.stats.theta_grid, || {
+                Ok(Arc::new(ThetaGridStrategy::new(k, theta)?))
+            })
     }
 
     /// The Haar plan pair for a `rows × cols` grid strategy, derived at
     /// most once per shape.
     pub fn grid_plans(&self, rows: usize, cols: usize) -> Result<GridPlans, EngineError> {
-        let mut map = self.grid_plans.lock().expect("plan cache lock");
-        if let Some(p) = map.get(&(rows, cols)) {
-            return Ok(p.clone());
-        }
-        let p = GridPlans::new(rows, cols)?;
-        self.stats.haar.fetch_add(1, Ordering::Relaxed);
-        map.insert((rows, cols), p.clone());
-        Ok(p)
+        self.grid_plans
+            .get_or_build((rows, cols), &self.stats.haar, || {
+                Ok(GridPlans::new(rows, cols)?)
+            })
     }
 
     /// A prepared matrix mechanism (workload, strategy, pseudoinverse
@@ -175,14 +255,10 @@ impl PlanCache {
     where
         F: FnOnce() -> Result<MatrixMechanism, MechanismError>,
     {
-        let mut map = self.matrix.lock().expect("plan cache lock");
-        if let Some(m) = map.get(key) {
-            return Ok(Arc::clone(m));
-        }
-        let m = Arc::new(build()?);
-        self.stats.pseudoinverse.fetch_add(1, Ordering::Relaxed);
-        map.insert(key.to_string(), Arc::clone(&m));
-        Ok(m)
+        self.matrix
+            .get_or_build(key.to_string(), &self.stats.pseudoinverse, || {
+                Ok(Arc::new(build()?))
+            })
     }
 }
 
@@ -246,5 +322,55 @@ mod tests {
         let a = cache.theta_line_strategy(32, 4).unwrap();
         let b = cache.theta_line_strategy(32, 4).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn incidence_keying_is_structural_not_nominal() {
+        // A renamed but structurally identical graph must hit the same
+        // cache slot — Incidence is a pure function of (domain, edges).
+        let cache = PlanCache::new();
+        let line = PolicyGraph::line(8).unwrap();
+        let renamed =
+            PolicyGraph::from_edges(line.domain().clone(), line.edges().to_vec(), "renamed-line")
+                .unwrap();
+        assert_eq!(line.structural_hash(), renamed.structural_hash());
+        let a = cache.incidence(&line).unwrap();
+        let b = cache.incidence(&renamed).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().incidence_builds(), 1);
+    }
+
+    #[test]
+    fn concurrent_hammering_builds_each_artifact_exactly_once() {
+        // 8 threads race one shared cache over a mixed artifact set; the
+        // stripe locks must resolve every race to exactly one build per
+        // distinct artifact, with no deadlock.
+        let cache = Arc::new(PlanCache::new());
+        let graphs: Vec<PolicyGraph> = vec![
+            PolicyGraph::line(16).unwrap(),
+            PolicyGraph::star(16).unwrap(),
+            PolicyGraph::theta_line(16, 3).unwrap(),
+        ];
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let graphs = &graphs;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        for g in graphs {
+                            cache.incidence(g).unwrap();
+                        }
+                        cache.theta_line_strategy(64, 2).unwrap();
+                        cache.theta_line_strategy(64, 4).unwrap();
+                        cache.theta_grid_strategy(8, 2).unwrap();
+                        cache.grid_plans(8, 8).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().incidence_builds(), 3);
+        assert_eq!(cache.stats().theta_line_builds(), 2);
+        assert_eq!(cache.stats().theta_grid_builds(), 1);
+        assert_eq!(cache.stats().haar_plan_builds(), 1);
     }
 }

@@ -1,19 +1,31 @@
 //! The plan-once/serve-many session layer.
 //!
-//! A [`Session`] binds `(Domain, policy, ε)` and owns a [`PlanCache`]:
+//! A [`Session`] binds `(Domain, policy, ε)` and a [`PlanCache`]:
 //! mechanisms requested through it share precomputed artifacts
 //! (incidence, spanners, Haar plans) and are themselves memoized, so a
 //! serving loop — or a five-trial experiment cell — pays the planning
 //! cost exactly once. The [`Session::plan`] planner picks the
 //! paper-recommended strategy for a task; [`Session::registry`] lists the
 //! full Figure 8/9 panel lineup for the session's policy.
+//!
+//! A standalone session owns its cache and is **unmetered**: ε is a
+//! per-release parameter and nothing tracks cumulative spend — exactly
+//! the one-shot experiment shape the figure panels use. The multi-tenant
+//! [`Service`](crate::Service) layer instead constructs sessions over a
+//! *shared* `Arc<PlanCache>` ([`Session::with_cache`]) and attaches a
+//! budget meter ([`Session::metered`]): every [`Session::fit`] then
+//! draws the mechanism's exact reported ε ([`Mechanism::epsilon`]) from
+//! the tenant's [`Ledger`] account *before* releasing, and an exhausted
+//! account rejects the fit with the typed
+//! `CoreError::BudgetExhausted` — ε becomes a metered runtime resource
+//! rather than construction-time state.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use rand::RngCore;
 
-use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph, Vtx};
+use blowfish_core::{Charge, DataVector, Domain, Epsilon, Ledger, PolicyGraph, Vtx};
 use blowfish_strategies::{
     DawaBaseline1d, DawaBaseline2d, Estimate, GridMechanism, LaplaceBaseline, LineMechanism,
     Mechanism, PriveletBaseline1d, PriveletBaselineNd, ThetaEstimator, ThetaGridMechanism,
@@ -167,6 +179,25 @@ impl Plan {
     }
 }
 
+/// A fitted release from a metered [`Session::fit`]: the query-ready
+/// estimate plus the ledger receipt (absent on unmetered sessions).
+#[derive(Clone, Debug)]
+pub struct Fitted {
+    /// The query-ready estimate.
+    pub estimate: Estimate,
+    /// The ledger charge backing this release; `None` when the session
+    /// has no meter attached.
+    pub charge: Option<Charge>,
+}
+
+/// The budget meter of a tenant-owned session: charges against one
+/// tenant's account in a shared [`Ledger`].
+#[derive(Clone, Debug)]
+struct Meter {
+    ledger: Arc<Ledger>,
+    tenant: String,
+}
+
 /// A plan-once/serve-many session over `(Domain, policy, ε)`.
 pub struct Session {
     domain: Domain,
@@ -174,24 +205,59 @@ pub struct Session {
     eps: Epsilon,
     cache: Arc<PlanCache>,
     mechanisms: Mutex<HashMap<String, Arc<dyn Mechanism>>>,
+    meter: Option<Meter>,
 }
 
 impl Session {
-    /// Opens a session for a policy graph, recognizing its family
-    /// ([`Policy::from_graph`]). For tree policies the incidence derived
-    /// during classification is seeded into the plan cache, so the first
-    /// mechanism build does not repeat it.
+    /// Opens a standalone session for a policy graph over a private
+    /// cache, recognizing its family ([`Policy::from_graph`]).
     pub fn new(graph: &PolicyGraph, eps: Epsilon) -> Result<Self, EngineError> {
+        Session::with_cache(graph, eps, Arc::new(PlanCache::new()))
+    }
+
+    /// Opens a session for a policy graph over a **shared** plan cache —
+    /// the multi-tenant [`Service`](crate::Service) shape, where every
+    /// tenant's session reuses one artifact store. For tree policies the
+    /// incidence derived during classification is seeded into the cache,
+    /// so the first mechanism build does not repeat it.
+    pub fn with_cache(
+        graph: &PolicyGraph,
+        eps: Epsilon,
+        cache: Arc<PlanCache>,
+    ) -> Result<Self, EngineError> {
         let (policy, incidence) = classify_graph(graph)?;
-        let session = Session::with_policy(graph.domain().clone(), policy, eps)?;
+        let session = Session::with_policy_and_cache(graph.domain().clone(), policy, eps, cache)?;
         if let (Policy::Tree { graph }, Some(inc)) = (&session.policy, incidence) {
             session.cache.seed_incidence(graph, inc);
         }
         Ok(session)
     }
 
-    /// Opens a session for an already-classified policy family.
+    /// Attaches a budget meter: every subsequent [`Session::fit`] draws
+    /// the mechanism's reported ε from `tenant`'s account in `ledger`
+    /// before releasing. Builder-style so the `Service` layer reads
+    /// `Session::with_cache(..)?.metered(ledger, tenant)`.
+    pub fn metered(mut self, ledger: Arc<Ledger>, tenant: impl Into<String>) -> Self {
+        self.meter = Some(Meter {
+            ledger,
+            tenant: tenant.into(),
+        });
+        self
+    }
+
+    /// Opens a standalone session for an already-classified policy family.
     pub fn with_policy(domain: Domain, policy: Policy, eps: Epsilon) -> Result<Self, EngineError> {
+        Session::with_policy_and_cache(domain, policy, eps, Arc::new(PlanCache::new()))
+    }
+
+    /// Opens a session for an already-classified policy family over a
+    /// shared plan cache.
+    pub fn with_policy_and_cache(
+        domain: Domain,
+        policy: Policy,
+        eps: Epsilon,
+        cache: Arc<PlanCache>,
+    ) -> Result<Self, EngineError> {
         match &policy {
             Policy::Theta1d { theta } => {
                 if domain.num_dims() != 1 || *theta == 0 {
@@ -219,9 +285,62 @@ impl Session {
             domain,
             policy,
             eps,
-            cache: Arc::new(PlanCache::new()),
+            cache,
             mechanisms: Mutex::new(HashMap::new()),
+            meter: None,
         })
+    }
+
+    /// Fits a mechanism to `x`, drawing its exact reported ε from the
+    /// attached ledger first (when metered): the charge is atomic
+    /// check-and-debit, so an exhausted tenant account rejects the
+    /// release with the typed `CoreError::BudgetExhausted` **before** any
+    /// noise is drawn — a rejected fit consumes neither budget nor
+    /// randomness. Unmetered sessions skip straight to the fit, so the
+    /// released values are f64-identical either way for a fixed seed.
+    ///
+    /// `x` is validated against the session domain before anything is
+    /// charged, so a shape mismatch cannot burn budget. Should the
+    /// mechanism itself still fail *after* the debit, the ε stays spent —
+    /// deliberately conservative accounting (the privacy cost of a
+    /// release must never be under-counted), so validate inputs up front
+    /// rather than relying on refunds.
+    pub fn fit(
+        &self,
+        spec: &MechanismSpec,
+        x: &DataVector,
+        rng: &mut dyn RngCore,
+    ) -> Result<Fitted, EngineError> {
+        if x.domain() != &self.domain {
+            return Err(EngineError::BadRequest {
+                what: "data domain does not match the session domain".to_string(),
+            });
+        }
+        let mechanism = self.mechanism(spec)?;
+        let charge = match &self.meter {
+            Some(meter) => Some(meter.ledger.charge(
+                &meter.tenant,
+                &spec.id(),
+                mechanism.epsilon(),
+            )?),
+            None => None,
+        };
+        Ok(Fitted {
+            estimate: mechanism.fit(x, rng)?,
+            charge,
+        })
+    }
+
+    /// The tenant this session charges, when a meter is attached.
+    pub fn tenant(&self) -> Option<&str> {
+        self.meter.as_ref().map(|m| m.tenant.as_str())
+    }
+
+    /// Remaining ledger budget of the metered tenant; `None` when
+    /// unmetered (standalone sessions spend freely).
+    pub fn budget_remaining(&self) -> Option<f64> {
+        let meter = self.meter.as_ref()?;
+        meter.ledger.remaining(&meter.tenant).ok()
     }
 
     /// The session domain.
@@ -234,7 +353,9 @@ impl Session {
         &self.policy
     }
 
-    /// The total Blowfish budget ε (baselines are served at ε/2).
+    /// The per-release Blowfish grant ε (baselines are served at ε/2).
+    /// On a metered session this is how much one Blowfish fit *requests*;
+    /// the attached ledger decides whether it is admitted.
     pub fn epsilon(&self) -> Epsilon {
         self.eps
     }
@@ -689,6 +810,104 @@ mod tests {
         let x = DataVector::new(Domain::one_dim(8), vec![1.0; 8]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(m.fit(&x, &mut rng).unwrap().histogram().len(), 8);
+    }
+
+    #[test]
+    fn metered_fits_charge_exact_epsilon_and_stay_bit_identical() {
+        let graph = PolicyGraph::line(16).unwrap();
+        let eps = Epsilon::new(0.25).unwrap();
+        let x = DataVector::new(Domain::one_dim(16), vec![2.0; 16]).unwrap();
+        let spec = MechanismSpec::Line(TreeEstimator::Laplace);
+
+        let ledger = Arc::new(Ledger::new());
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        let metered = Session::new(&graph, eps)
+            .unwrap()
+            .metered(Arc::clone(&ledger), "t");
+        let plain = Session::new(&graph, eps).unwrap();
+
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let fitted = metered.fit(&spec, &x, &mut a).unwrap();
+        let free = plain.fit(&spec, &x, &mut b).unwrap();
+        assert_eq!(fitted.estimate.histogram(), free.estimate.histogram());
+        // Blowfish strategy charges the full grant; receipt is exact.
+        let charge = fitted.charge.unwrap();
+        assert!((charge.amount - 0.25).abs() < 1e-12);
+        assert!(free.charge.is_none());
+        assert!((metered.budget_remaining().unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(metered.tenant(), Some("t"));
+        assert_eq!(plain.tenant(), None);
+
+        // A baseline charges the ε/2 it actually consumes, not the grant.
+        let mut c = StdRng::seed_from_u64(12);
+        let base = metered.fit(&MechanismSpec::Laplace, &x, &mut c).unwrap();
+        assert!((base.charge.unwrap().amount - 0.125).abs() < 1e-12);
+        assert_eq!(ledger.history("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_meter_rejects_fit_without_spending() {
+        let graph = PolicyGraph::line(8).unwrap();
+        let eps = Epsilon::new(0.4).unwrap();
+        let x = DataVector::new(Domain::one_dim(8), vec![1.0; 8]).unwrap();
+        let spec = MechanismSpec::Line(TreeEstimator::Laplace);
+        let ledger = Arc::new(Ledger::new());
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        let s = Session::new(&graph, eps)
+            .unwrap()
+            .metered(Arc::clone(&ledger), "t");
+        let mut rng = StdRng::seed_from_u64(1);
+        // 0.4 + 0.4 fit; the third 0.4 does not.
+        assert!(s.fit(&spec, &x, &mut rng).is_ok());
+        assert!(s.fit(&spec, &x, &mut rng).is_ok());
+        let err = s.fit(&spec, &x, &mut rng).unwrap_err();
+        assert!(err.is_budget_exhausted(), "got {err:?}");
+        // The rejection left the account at 0.8 — no partial debit.
+        assert!((ledger.spent("t").unwrap() - 0.8).abs() < 1e-12);
+        // A smaller release still fits in the remaining 0.2.
+        let small = s.mechanism_at(&spec, Epsilon::new(0.2).unwrap()).unwrap();
+        assert!(small.epsilon().value() <= 0.2 + 1e-12);
+    }
+
+    #[test]
+    fn mismatched_data_is_rejected_before_any_charge() {
+        // A fit with wrong-shaped data must fail *without* debiting the
+        // tenant account — budget burns only for admissible releases.
+        let ledger = Arc::new(Ledger::new());
+        ledger.open("t", Epsilon::new(1.0).unwrap()).unwrap();
+        let s = Session::new(&PolicyGraph::line(16).unwrap(), Epsilon::new(0.5).unwrap())
+            .unwrap()
+            .metered(Arc::clone(&ledger), "t");
+        let wrong = DataVector::new(Domain::one_dim(8), vec![1.0; 8]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = s
+            .fit(
+                &MechanismSpec::Line(TreeEstimator::Laplace),
+                &wrong,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest { .. }));
+        assert_eq!(ledger.spent("t").unwrap(), 0.0, "rejected fit spent ε");
+    }
+
+    #[test]
+    fn sessions_share_one_cache_across_tenants() {
+        let cache = Arc::new(PlanCache::new());
+        let eps = Epsilon::new(0.5).unwrap();
+        let g = PolicyGraph::theta_line(64, 4).unwrap();
+        let a = Session::with_cache(&g, eps, Arc::clone(&cache)).unwrap();
+        let b = Session::with_cache(&g, eps, Arc::clone(&cache)).unwrap();
+        let spec = MechanismSpec::ThetaLine {
+            theta: 4,
+            estimator: ThetaEstimator::Laplace,
+        };
+        a.mechanism(&spec).unwrap();
+        b.mechanism(&spec).unwrap();
+        // One artifact derivation across both sessions.
+        assert_eq!(cache.stats().theta_line_builds(), 1);
+        assert!(Arc::ptr_eq(a.cache(), b.cache()));
     }
 
     #[test]

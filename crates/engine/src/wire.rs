@@ -1,0 +1,470 @@
+//! Newline-delimited text codec for the [`Service`] request protocol —
+//! what the `blowfish-serve` bin speaks over stdin/stdout.
+//!
+//! One request per line, one response line per request (`ok …` or
+//! `err …`); blank lines and `#` comments are ignored. Commands:
+//!
+//! ```text
+//! tenant <id> policy=<p> eps=<ε> budget=<ε> data=<v,v,…|uniform:<v>>
+//! plan <id> task=<hist|range1d|range2d>
+//! fit <id> as=<handle> seed=<n> [mech=<registry-id>] [task=<t>]
+//! answer <id> from=<handle> <lo>..<hi> [<lo>..<hi>x<lo>..<hi> …]
+//! stats [<id>]
+//! help
+//! quit
+//! ```
+//!
+//! Policies: `line:<k>`, `theta-line:<k>:<θ>`, `grid:<k>` (k×k, θ=1),
+//! `theta-grid:<k>:<θ>`, `star:<k>`, `complete:<k>`. Mechanism ids are
+//! the [`MechanismSpec::id`] registry ids (e.g. `dp-laplace`,
+//! `theta-line-4-laplace`). Range queries give inclusive per-dimension
+//! bounds `lo..hi`, dimensions joined with `x` (`2..9` is 1-D,
+//! `0..3x1..4` is 2-D).
+
+use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph, RangeQuery};
+
+use crate::service::{Request, Response, Service, TenantConfig};
+use crate::spec::{MechanismSpec, Task};
+use crate::EngineError;
+
+/// Outcome of feeding one input line to [`handle_line`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireReply {
+    /// A response line to write back (`ok …` or `err …`).
+    Reply(String),
+    /// The line was blank or a comment; write nothing.
+    Silent,
+    /// The client asked to close the connection (`quit`).
+    Quit,
+}
+
+/// Parses and serves one protocol line against a service, formatting the
+/// outcome as a response line. Never panics on malformed input — every
+/// parse failure becomes an `err …` reply.
+pub fn handle_line(service: &Service, line: &str) -> WireReply {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return WireReply::Silent;
+    }
+    if line == "quit" {
+        return WireReply::Quit;
+    }
+    match serve_line(service, line) {
+        Ok(reply) => WireReply::Reply(reply),
+        Err(e) => WireReply::Reply(format!("err {e}")),
+    }
+}
+
+fn serve_line(service: &Service, line: &str) -> Result<String, EngineError> {
+    let mut tokens = line.split_whitespace();
+    let command = tokens.next().expect("non-empty line");
+    let rest: Vec<&str> = tokens.collect();
+    match command {
+        "help" => Ok(format!("ok help {}", HELP)),
+        "tenant" => {
+            let config = parse_tenant(&rest)?;
+            let id = config.id.clone();
+            let policy = config.graph.name().to_string();
+            let cells = config.data.domain().size();
+            service.add_tenant(config)?;
+            Ok(format!("ok tenant {id} policy={policy} cells={cells}"))
+        }
+        "plan" => {
+            let (id, args) = split_id(&rest, "plan")?;
+            let task = parse_task(arg(&args, "task").unwrap_or("hist"))?;
+            let response = service.handle(&Request::Plan {
+                tenant: id.to_string(),
+                task,
+            })?;
+            format_response(&response)
+        }
+        "fit" => {
+            let (id, args) = split_id(&rest, "fit")?;
+            let handle = arg(&args, "as")
+                .ok_or_else(|| bad("fit needs as=<handle>"))?
+                .to_string();
+            let spec = match arg(&args, "mech") {
+                Some(mech) => Some(
+                    MechanismSpec::parse(mech)
+                        .ok_or_else(|| bad(&format!("unknown mechanism id {mech}")))?,
+                ),
+                None => None,
+            };
+            let task = parse_task(arg(&args, "task").unwrap_or("hist"))?;
+            // Seeds are mandatory, never defaulted: a fixed implicit seed
+            // would make every unseeded release reuse one noise stream —
+            // duplicate releases that still burn budget, and fully
+            // predictable noise. The caller owns seed policy (fresh
+            // entropy in production, fixed seeds for reproducibility).
+            let seed_token = arg(&args, "seed").ok_or_else(|| bad("fit needs seed=<n>"))?;
+            let seed = seed_token
+                .parse()
+                .map_err(|_| bad(&format!("bad seed {seed_token}")))?;
+            let response = service.handle(&Request::Fit {
+                tenant: id.to_string(),
+                spec,
+                task,
+                seed,
+                handle,
+            })?;
+            format_response(&response)
+        }
+        "answer" => {
+            let (id, args) = split_id(&rest, "answer")?;
+            let handle = arg(&args, "from")
+                .ok_or_else(|| bad("answer needs from=<handle>"))?
+                .to_string();
+            let domain = service.tenant_domain(id)?;
+            let queries = args
+                .iter()
+                .filter(|t| !t.contains('='))
+                .map(|t| parse_range(&domain, t))
+                .collect::<Result<Vec<RangeQuery>, EngineError>>()?;
+            if queries.is_empty() {
+                return Err(bad("answer needs at least one <lo>..<hi> range"));
+            }
+            let response = service.handle(&Request::Answer {
+                tenant: id.to_string(),
+                handle,
+                queries,
+            })?;
+            format_response(&response)
+        }
+        "stats" => {
+            let response = service.handle(&Request::Stats {
+                tenant: rest.first().map(|s| s.to_string()),
+            })?;
+            format_response(&response)
+        }
+        other => Err(bad(&format!("unknown command {other}"))),
+    }
+}
+
+const HELP: &str = "commands: tenant|plan|fit|answer|stats|help|quit \
+(see the blowfish-engine wire module docs for syntax)";
+
+/// Formats a typed [`Response`] as one protocol line.
+pub fn format_response(response: &Response) -> Result<String, EngineError> {
+    Ok(match response {
+        Response::Planned { spec } => format!("ok plan {}", spec.id()),
+        Response::Fitted {
+            handle,
+            charged,
+            spent,
+            remaining,
+        } => format!("ok fit {handle} charged={charged} spent={spent} remaining={remaining}"),
+        Response::Answers { values } => {
+            let mut out = format!("ok answer {}", values.len());
+            for v in values {
+                out.push(' ');
+                out.push_str(&format!("{v}"));
+            }
+            out
+        }
+        Response::Stats {
+            tenants,
+            artifact_builds,
+        } => {
+            let mut out = format!(
+                "ok stats builds={artifact_builds} tenants={}",
+                tenants.len()
+            );
+            for t in tenants {
+                out.push_str(&format!(
+                    " | {} spent={} remaining={} fits={} estimates={}",
+                    t.id, t.spent, t.remaining, t.fits, t.estimates
+                ));
+            }
+            out
+        }
+    })
+}
+
+fn bad(what: &str) -> EngineError {
+    EngineError::BadRequest {
+        what: what.to_string(),
+    }
+}
+
+/// First positional token is the tenant id; the rest are arguments.
+fn split_id<'a>(rest: &[&'a str], command: &str) -> Result<(&'a str, Vec<&'a str>), EngineError> {
+    match rest.split_first() {
+        Some((id, args)) if !id.contains('=') => Ok((id, args.to_vec())),
+        _ => Err(bad(&format!("{command} needs a tenant id"))),
+    }
+}
+
+/// Looks up `key=` in the argument tokens.
+fn arg<'a>(args: &[&'a str], key: &str) -> Option<&'a str> {
+    args.iter()
+        .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+fn parse_task(token: &str) -> Result<Task, EngineError> {
+    match token {
+        "hist" | "histogram" => Ok(Task::Histogram),
+        "range1d" => Ok(Task::Range1d),
+        "range2d" => Ok(Task::Range2d),
+        other => Err(bad(&format!("unknown task {other}"))),
+    }
+}
+
+fn parse_tenant(rest: &[&str]) -> Result<TenantConfig, EngineError> {
+    let (id, args) = split_id(rest, "tenant")?;
+    let policy = arg(&args, "policy").ok_or_else(|| bad("tenant needs policy=<spec>"))?;
+    let graph = parse_policy(policy)?;
+    let eps = parse_epsilon(arg(&args, "eps").ok_or_else(|| bad("tenant needs eps=<ε>"))?)?;
+    let budget =
+        parse_epsilon(arg(&args, "budget").ok_or_else(|| bad("tenant needs budget=<ε>"))?)?;
+    let data = parse_data(
+        graph.domain(),
+        arg(&args, "data").ok_or_else(|| bad("tenant needs data=<v,v,…|uniform:<v>>"))?,
+    )?;
+    Ok(TenantConfig {
+        id: id.to_string(),
+        graph,
+        eps,
+        budget,
+        data,
+    })
+}
+
+fn parse_epsilon(token: &str) -> Result<Epsilon, EngineError> {
+    let value: f64 = token
+        .parse()
+        .map_err(|_| bad(&format!("bad ε value {token}")))?;
+    Ok(Epsilon::new(value)?)
+}
+
+/// Untrusted-input caps for wire-constructed policies: one request line
+/// must not be able to allocate an unbounded graph and take the server
+/// down (`complete:<k>` alone is k(k−1)/2 edges; a θ-grid enumerates
+/// O(k²θ²) edge candidates). `MAX_WIRE_K`/`MAX_WIRE_THETA` bound the raw
+/// parameters; `MAX_WIRE_EDGES` bounds a cheap per-family upper estimate
+/// of the edge count before anything is built. Generous for every
+/// workload in the paper, far below allocation-failure territory.
+const MAX_WIRE_K: usize = 4096;
+const MAX_WIRE_THETA: usize = 64;
+const MAX_WIRE_EDGES: usize = 1 << 22;
+
+fn parse_policy(token: &str) -> Result<PolicyGraph, EngineError> {
+    let parts: Vec<&str> = token.split(':').collect();
+    let num = |s: &str, cap: usize, what: &str| -> Result<usize, EngineError> {
+        let n: usize = s
+            .parse()
+            .map_err(|_| bad(&format!("bad number {s} in policy {token}")))?;
+        if n > cap {
+            return Err(bad(&format!(
+                "{what} {n} exceeds the wire limit {cap} in policy {token}"
+            )));
+        }
+        Ok(n)
+    };
+    let k = |s| num(s, MAX_WIRE_K, "domain size");
+    let theta = |s| num(s, MAX_WIRE_THETA, "θ");
+    // Upper estimate of |E| for a family, saturating; rejected before any
+    // graph memory is allocated.
+    let fits = |edges: usize| -> Result<(), EngineError> {
+        if edges > MAX_WIRE_EDGES {
+            return Err(bad(&format!(
+                "policy {token} would build ~{edges} edges (wire limit {MAX_WIRE_EDGES})"
+            )));
+        }
+        Ok(())
+    };
+    let graph = match parts.as_slice() {
+        ["line", n] => PolicyGraph::line(k(n)?),
+        ["theta-line", n, t] => {
+            let (k, t) = (k(n)?, theta(t)?);
+            fits(k.saturating_mul(t))?;
+            PolicyGraph::theta_line(k, t)
+        }
+        ["grid", n] => {
+            let k = k(n)?;
+            fits(k.saturating_mul(k).saturating_mul(2))?;
+            PolicyGraph::distance_threshold(Domain::square(k), 1)
+        }
+        ["theta-grid", n, t] => {
+            let (k, t) = (k(n)?, theta(t)?);
+            // Per cell, canonical offsets with |δ|₁ ≤ θ number ≤ 2θ(θ+1).
+            fits(k.saturating_mul(k).saturating_mul(2 * t * (t + 1)))?;
+            PolicyGraph::distance_threshold(Domain::square(k), t)
+        }
+        ["star", n] => PolicyGraph::star(k(n)?),
+        ["complete", n] => {
+            let k = k(n)?;
+            fits(k.saturating_mul(k.saturating_sub(1)) / 2)?;
+            PolicyGraph::complete(k)
+        }
+        _ => return Err(bad(&format!("unknown policy spec {token}"))),
+    };
+    Ok(graph?)
+}
+
+fn parse_data(domain: &Domain, token: &str) -> Result<DataVector, EngineError> {
+    let counts: Vec<f64> = if let Some(v) = token.strip_prefix("uniform:") {
+        let fill: f64 = v
+            .parse()
+            .map_err(|_| bad(&format!("bad uniform fill {v}")))?;
+        vec![fill; domain.size()]
+    } else {
+        token
+            .split(',')
+            .map(|s| s.parse().map_err(|_| bad(&format!("bad data value {s}"))))
+            .collect::<Result<Vec<f64>, EngineError>>()?
+    };
+    Ok(DataVector::new(domain.clone(), counts)?)
+}
+
+/// Parses `lo..hi` (1-D) or `lo..hix lo..hi` dims joined with `x` into a
+/// validated range query over `domain`.
+fn parse_range(domain: &Domain, token: &str) -> Result<RangeQuery, EngineError> {
+    let mut lo = Vec::new();
+    let mut hi = Vec::new();
+    for dim in token.split('x') {
+        let (a, b) = dim
+            .split_once("..")
+            .ok_or_else(|| bad(&format!("bad range {token} (want lo..hi)")))?;
+        lo.push(
+            a.parse()
+                .map_err(|_| bad(&format!("bad range bound {a}")))?,
+        );
+        hi.push(
+            b.parse()
+                .map_err(|_| bad(&format!("bad range bound {b}")))?,
+        );
+    }
+    Ok(RangeQuery::new(domain, lo, hi)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(service: &Service, line: &str) -> String {
+        match handle_line(service, line) {
+            WireReply::Reply(r) => {
+                assert!(r.starts_with("ok "), "expected ok for {line:?}, got {r}");
+                r
+            }
+            other => panic!("expected reply for {line:?}, got {other:?}"),
+        }
+    }
+
+    fn err(service: &Service, line: &str) -> String {
+        match handle_line(service, line) {
+            WireReply::Reply(r) => {
+                assert!(r.starts_with("err "), "expected err for {line:?}, got {r}");
+                r
+            }
+            other => panic!("expected reply for {line:?}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_session_over_the_wire() {
+        let service = Service::new();
+        ok(
+            &service,
+            "tenant acme policy=line:16 eps=0.5 budget=2.0 data=uniform:3",
+        );
+        let plan = ok(&service, "plan acme task=range1d");
+        assert_eq!(plan, "ok plan line-laplace-consistent");
+        let fit = ok(&service, "fit acme as=r1 seed=7 task=range1d");
+        assert!(fit.starts_with("ok fit r1 charged=0.5"), "{fit}");
+        let answer = ok(&service, "answer acme from=r1 0..15 3..9");
+        assert!(answer.starts_with("ok answer 2 "), "{answer}");
+        let stats = ok(&service, "stats acme");
+        assert!(stats.contains("acme spent=0.5"), "{stats}");
+        // Explicit mechanism id path (a baseline charges ε/2).
+        let fit2 = ok(&service, "fit acme as=r2 mech=dp-laplace seed=1");
+        assert!(fit2.contains("charged=0.25"), "{fit2}");
+    }
+
+    #[test]
+    fn two_dimensional_ranges_parse() {
+        let service = Service::new();
+        ok(
+            &service,
+            "tenant geo policy=grid:8 eps=0.5 budget=4.0 data=uniform:1",
+        );
+        ok(&service, "fit geo as=g1 seed=3 task=range2d");
+        let answer = ok(&service, "answer geo from=g1 0..7x0..7 1..3x2..5");
+        assert!(answer.starts_with("ok answer 2 "), "{answer}");
+    }
+
+    #[test]
+    fn malformed_lines_become_err_replies() {
+        let service = Service::new();
+        err(&service, "frobnicate");
+        err(&service, "tenant");
+        err(
+            &service,
+            "tenant acme policy=klein-bottle:4 eps=1 budget=1 data=uniform:0",
+        );
+        err(
+            &service,
+            "tenant acme policy=line:4 eps=zero budget=1 data=uniform:0",
+        );
+        err(
+            &service,
+            "tenant acme policy=line:4 eps=0.5 budget=1 data=1,2,3",
+        );
+        ok(
+            &service,
+            "tenant acme policy=line:4 eps=0.5 budget=1 data=1,2,3,4",
+        );
+        err(&service, "plan ghost");
+        err(&service, "fit acme seed=1");
+        // An unseeded fit is rejected — seed 0 must never be implied.
+        err(&service, "fit acme as=h");
+        err(&service, "answer acme from=nope 0..3");
+        ok(&service, "fit acme as=h seed=1");
+        err(&service, "answer acme from=h");
+        err(&service, "answer acme from=h 3..1");
+        err(&service, "answer acme from=h 0..99");
+        // Budget exhaustion surfaces the typed core error's message.
+        ok(&service, "fit acme as=h2 seed=2");
+        let e = err(&service, "fit acme as=h3 seed=3");
+        assert!(e.contains("budget exhausted"), "{e}");
+    }
+
+    #[test]
+    fn oversized_policies_are_rejected_before_allocation() {
+        // One request line must not be able to OOM the server.
+        let service = Service::new();
+        err(
+            &service,
+            "tenant a policy=complete:200000 eps=1 budget=1 data=uniform:0",
+        );
+        err(
+            &service,
+            "tenant a policy=line:999999999 eps=1 budget=1 data=uniform:0",
+        );
+        err(
+            &service,
+            "tenant a policy=theta-grid:4096:64 eps=1 budget=1 data=uniform:0",
+        );
+        err(
+            &service,
+            "tenant a policy=theta-line:4096:9999 eps=1 budget=1 data=uniform:0",
+        );
+        // In-cap requests still work.
+        ok(
+            &service,
+            "tenant a policy=complete:64 eps=1 budget=1 data=uniform:0",
+        );
+    }
+
+    #[test]
+    fn blank_comment_and_quit_lines() {
+        let service = Service::new();
+        assert_eq!(handle_line(&service, ""), WireReply::Silent);
+        assert_eq!(handle_line(&service, "  # a comment"), WireReply::Silent);
+        assert_eq!(handle_line(&service, "quit"), WireReply::Quit);
+        assert!(matches!(
+            handle_line(&service, "help"),
+            WireReply::Reply(r) if r.starts_with("ok help")
+        ));
+    }
+}

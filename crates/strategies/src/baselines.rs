@@ -51,6 +51,10 @@ impl Mechanism for LaplaceBaseline {
         "Laplace"
     }
 
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
         Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
     }
@@ -81,6 +85,10 @@ impl PriveletBaseline1d {
 impl Mechanism for PriveletBaseline1d {
     fn name(&self) -> &str {
         "Privelet"
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.eps
     }
 
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
@@ -120,6 +128,10 @@ impl Mechanism for PriveletBaselineNd {
         "Privelet"
     }
 
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
         Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
     }
@@ -155,6 +167,10 @@ impl DawaBaseline1d {
 impl Mechanism for DawaBaseline1d {
     fn name(&self) -> &str {
         "Dawa"
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.eps
     }
 
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
@@ -199,6 +215,10 @@ impl DawaBaseline2d {
 impl Mechanism for DawaBaseline2d {
     fn name(&self) -> &str {
         "Dawa"
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.eps
     }
 
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
@@ -303,6 +323,21 @@ mod tests {
             for (e, t) in est.iter().zip(x.counts()) {
                 assert!((e - t).abs() < 5.0, "estimate {e} vs truth {t}");
             }
+        }
+    }
+
+    #[test]
+    fn mechanisms_report_their_constructed_epsilon() {
+        let eps = Epsilon::new(0.25).unwrap();
+        let mechs: Vec<Box<dyn Mechanism>> = vec![
+            Box::new(LaplaceBaseline::new(eps)),
+            Box::new(PriveletBaseline1d::new(eps)),
+            Box::new(PriveletBaselineNd::new(eps)),
+            Box::new(DawaBaseline1d::new(eps)),
+            Box::new(DawaBaseline2d::new(eps)),
+        ];
+        for m in &mechs {
+            assert_eq!(m.epsilon(), eps, "{}", m.name());
         }
     }
 

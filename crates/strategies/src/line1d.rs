@@ -155,6 +155,10 @@ impl Mechanism for LineMechanism {
         self.estimator.name()
     }
 
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
         Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
     }
@@ -219,6 +223,10 @@ impl TreeMechanism {
 impl Mechanism for TreeMechanism {
     fn name(&self) -> &str {
         self.estimator.name()
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.eps
     }
 
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {

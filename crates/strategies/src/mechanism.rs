@@ -19,7 +19,7 @@
 
 use rand::RngCore;
 
-use blowfish_core::{DataVector, Domain, RangeQuery};
+use blowfish_core::{DataVector, Domain, Epsilon, RangeQuery};
 
 use crate::StrategyError;
 
@@ -203,6 +203,13 @@ impl Estimate {
 pub trait Mechanism: Send + Sync {
     /// Display name matching the paper's figure legends.
     fn name(&self) -> &str;
+
+    /// The privacy budget one [`Mechanism::fit`] actually consumes — the
+    /// ε of the mechanism's own guarantee at the policy it was built for
+    /// (stretch/split scaling is already folded in internally by each
+    /// strategy). Budget meters charge exactly this per release, so a
+    /// baseline constructed at ε/2 is charged ε/2, not the session ε.
+    fn epsilon(&self) -> Epsilon;
 
     /// Runs the mechanism on `x`, producing a query-ready [`Estimate`].
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError>;

@@ -230,6 +230,10 @@ impl Mechanism for ThetaGridMechanism {
         "Transformed + Privelet"
     }
 
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
     fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
         Estimate::new(x.domain(), self.fit_histogram(x, rng)?)
     }

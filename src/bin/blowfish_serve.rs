@@ -1,0 +1,47 @@
+//! `blowfish-serve` — the end-to-end server entry point: a
+//! budget-metered multi-tenant [`Service`] speaking the newline-delimited
+//! request protocol over stdin/stdout.
+//!
+//! One request per line in, one `ok …`/`err …` line out; `quit` (or EOF)
+//! ends the session. Try it interactively:
+//!
+//! ```text
+//! $ cargo run --release --bin blowfish-serve
+//! tenant acme policy=line:16 eps=0.5 budget=2.0 data=uniform:3
+//! ok tenant acme policy=G^1_16 cells=16
+//! fit acme as=r1 seed=7 task=range1d
+//! ok fit r1 charged=0.5 spent=0.5 remaining=1.5
+//! answer acme from=r1 3..9
+//! ok answer 1 21.35…
+//! quit
+//! ```
+//!
+//! or pipe a script: `blowfish-serve < requests.txt`. The full command
+//! syntax is documented in the `blowfish_engine::wire` module.
+
+use std::io::{BufRead, Write};
+
+use blowfish_privacy::engine::{handle_line, Service, WireReply};
+
+fn main() {
+    let service = Service::new();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    eprintln!("blowfish-serve ready (newline-delimited requests; `help` lists commands)");
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        match handle_line(&service, &line) {
+            WireReply::Reply(reply) => {
+                if writeln!(out, "{reply}").and_then(|_| out.flush()).is_err() {
+                    break;
+                }
+            }
+            WireReply::Silent => {}
+            WireReply::Quit => break,
+        }
+    }
+}

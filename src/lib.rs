@@ -29,12 +29,15 @@
 //!   grid, θ-grid), ε/2-DP baselines, the Appendix-A SVD lower bounds,
 //!   and the object-safe [`Mechanism`](strategies::Mechanism) trait +
 //!   [`Estimate`](strategies::Estimate) every algorithm is served through.
-//! * [`engine`] — the plan-once/serve-many layer: the
-//!   [`MechanismSpec`](engine::MechanismSpec) registry, the
+//! * [`engine`] — the serving stack: the
+//!   [`MechanismSpec`](engine::MechanismSpec) registry, the lock-striped
 //!   [`PlanCache`](engine::PlanCache) of per-policy artifacts (incidence,
-//!   spanners, Haar plans, pseudoinverses), and the
+//!   spanners, Haar plans, pseudoinverses), the
 //!   [`Session`](engine::Session)/planner serving fitted
-//!   [`Estimate`](strategies::Estimate)s at O(1) per range query.
+//!   [`Estimate`](strategies::Estimate)s at O(1) per range query, and the
+//!   concurrent budget-metered multi-tenant
+//!   [`Service`](engine::Service) with its newline-delimited
+//!   [`wire`](engine::wire) protocol (the `blowfish-serve` bin).
 //! * [`data`] — synthetic Table-1 datasets.
 //!
 //! ## Quickstart
@@ -75,14 +78,14 @@ pub use blowfish_strategies as strategies;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use blowfish_core::{
-        are_blowfish_neighbors, blowfish_neighbors, measure_error, mse_per_query, DataVector,
-        Delta, Domain, Epsilon, Incidence, LinearQuery, PolicyEdge, PolicyGraph, RangeQuery, Vtx,
-        Workload,
+        are_blowfish_neighbors, blowfish_neighbors, measure_error, mse_per_query, Charge,
+        DataVector, Delta, Domain, Epsilon, Incidence, Ledger, LinearQuery, PolicyEdge,
+        PolicyGraph, RangeQuery, Vtx, Workload,
     };
     pub use blowfish_data::{dataset, DatasetId};
     pub use blowfish_engine::{
-        fit_cells, fit_cells_serial, parallel_map, FitCell, MechanismSpec, Plan, PlanCache, Policy,
-        Session, Task,
+        fit_cells, fit_cells_serial, parallel_map, FitCell, Fitted, MechanismSpec, Plan, PlanCache,
+        Policy, Request, Response, Service, Session, Task, TenantConfig, TenantStats,
     };
     pub use blowfish_mechanisms::{
         dawa_histogram, hierarchical_histogram, isotonic_non_decreasing, laplace_histogram,
