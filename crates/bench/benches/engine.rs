@@ -181,6 +181,12 @@ fn bench_engine(c: &mut Criterion) {
 
     g.finish();
 
+    // Machine-readable results for the CI bench-regression gate (no-op
+    // unless BLOWFISH_BENCH_SNAPSHOT_DIR is set; shim extension).
+    if let Some(path) = c.write_snapshot("engine") {
+        eprintln!("bench snapshot written to {}", path.display());
+    }
+
     // Perf invariants: the cache layer must keep paying off. These fail
     // the bench binary (and the CI `BLOWFISH_BENCH_QUICK=1` smoke step)
     // if cached-plan serving regresses to cold-plan cost. Margins are

@@ -168,8 +168,14 @@ fn bench_service(c: &mut Criterion) {
     // NOTE: `is_test_mode`/`mean_ns` are extensions of the offline
     // criterion *shim* — when swapping the real criterion crate in,
     // delete this block (upstream tracks regressions via baselines).
+    // Machine-readable results for the CI bench-regression gate (no-op
+    // unless BLOWFISH_BENCH_SNAPSHOT_DIR is set; shim extension).
+    if let Some(path) = c.write_snapshot("service") {
+        eprintln!("bench snapshot written to {}", path.display());
+    }
+
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let quick = std::env::var("BLOWFISH_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let quick = criterion::quick_mode();
     if !c.is_test_mode() && threads >= 4 {
         let mean = |id: &str| {
             c.mean_ns(id)

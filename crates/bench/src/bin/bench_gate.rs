@@ -1,0 +1,153 @@
+//! `bench_gate` — the CI perf-regression gate.
+//!
+//! Diffs freshly measured bench snapshots (written by the criterion
+//! shim's `write_snapshot` under `BLOWFISH_BENCH_SNAPSHOT_DIR`) against
+//! the committed `BENCH_*.json` baselines: any metric whose fresh mean
+//! exceeds `factor ×` its committed baseline fails the gate. Speedups
+//! never fail; baseline metrics the fresh run did not re-measure are
+//! reported but non-fatal (CI only re-runs a subset of benches).
+//!
+//! ```text
+//! bench_gate --baseline FILE[:SECTION] ... --fresh FILE ...
+//!            [--factor 3.0] [--min-ns 1000]
+//! ```
+//!
+//! `FILE:SECTION` scopes metric extraction to one named sub-object —
+//! e.g. `BENCH_plan.json:this_pr_ns` compares against that file's
+//! current-commitment section rather than its historical baseline
+//! section. The default `--factor 3` is deliberately generous: CI runs
+//! benches in quick mode on shared runners, so only an
+//! order-of-magnitude-ish regression should fail the build, not runner
+//! noise. `--min-ns` (default 1000) skips baselines too fast to carry a
+//! meaningful quick-mode ratio.
+
+use std::collections::BTreeMap;
+
+use blowfish_bench::report::snapshot::{compare_metrics, extract_metrics, JsonValue};
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baselines: Vec<(String, Option<String>)> = Vec::new();
+    let mut fresh_files: Vec<String> = Vec::new();
+    let mut factor = 3.0_f64;
+    let mut min_ns = 1000.0_f64;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => match args.get(i + 1) {
+                Some(spec) => {
+                    let (file, section) = match spec.split_once(':') {
+                        Some((f, s)) => (f.to_string(), Some(s.to_string())),
+                        None => (spec.clone(), None),
+                    };
+                    baselines.push((file, section));
+                    i += 1;
+                }
+                None => return usage("--baseline needs a file"),
+            },
+            "--fresh" => match args.get(i + 1) {
+                Some(file) => {
+                    fresh_files.push(file.clone());
+                    i += 1;
+                }
+                None => return usage("--fresh needs a file"),
+            },
+            "--factor" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(v) if v > 1.0 => {
+                    factor = v;
+                    i += 1;
+                }
+                _ => return usage("--factor needs a number > 1"),
+            },
+            "--min-ns" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(v) if v >= 0.0 => {
+                    min_ns = v;
+                    i += 1;
+                }
+                _ => return usage("--min-ns needs a non-negative number"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if baselines.is_empty() || fresh_files.is_empty() {
+        return usage("need at least one --baseline and one --fresh file");
+    }
+
+    // Union of all fresh snapshots (bench ids are globally unique).
+    let mut fresh: BTreeMap<String, f64> = BTreeMap::new();
+    for file in &fresh_files {
+        match load_metrics(file, None) {
+            Ok(metrics) => {
+                println!("fresh    {file}: {} metrics", metrics.len());
+                fresh.extend(metrics);
+            }
+            Err(e) => {
+                eprintln!("cannot load fresh snapshot {file}: {e}");
+                return 2;
+            }
+        }
+    }
+
+    let mut regressed = false;
+    for (file, section) in &baselines {
+        let metrics = match load_metrics(file, section.as_deref()) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot load baseline {file}: {e}");
+                return 2;
+            }
+        };
+        let label = match section {
+            Some(s) => format!("{file}:{s}"),
+            None => file.clone(),
+        };
+        let cmp = compare_metrics(&metrics, &fresh, factor, min_ns);
+        println!(
+            "baseline {label}: {} compared, {} not re-measured, {} below {min_ns} ns floor",
+            cmp.compared,
+            cmp.missing.len(),
+            cmp.below_floor.len()
+        );
+        for r in &cmp.regressions {
+            regressed = true;
+            println!(
+                "  REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x > {factor}x allowed)",
+                r.id, r.baseline_ns, r.fresh_ns, r.ratio
+            );
+        }
+    }
+    if regressed {
+        eprintln!("\nFAIL: fresh benches regressed past {factor}x of the committed baselines");
+        1
+    } else {
+        println!("\nno regressions past {factor}x");
+        0
+    }
+}
+
+fn load_metrics(file: &str, section: Option<&str>) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| e.to_string())?;
+    let doc = JsonValue::parse(&text)?;
+    let metrics = extract_metrics(&doc, section);
+    if metrics.is_empty() {
+        return Err(match section {
+            Some(s) => format!("no metrics under section {s:?}"),
+            None => "no metrics found".to_string(),
+        });
+    }
+    Ok(metrics)
+}
+
+fn usage(problem: &str) -> i32 {
+    eprintln!(
+        "{problem}\nusage: bench_gate --baseline FILE[:SECTION] ... --fresh FILE ... \
+         [--factor 3.0] [--min-ns 1000]"
+    );
+    2
+}

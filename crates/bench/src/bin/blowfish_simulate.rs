@@ -1,0 +1,207 @@
+//! `blowfish_simulate` — the trace-driven workload simulator.
+//!
+//! Generates seeded multi-tenant scenario traces, replays them through
+//! the engine's `Service` layer, scores ledger exactness, admission
+//! behavior, closed-form utility, and throughput, and emits
+//! machine-readable `SimReport` JSON. Any gate violation makes the
+//! process exit nonzero — which is how the CI `simulate-smoke` step
+//! fails a build that breaks the service layer's accounting.
+//!
+//! ```text
+//! blowfish_simulate [--quick] [--list] [--scenario NAME]
+//!                   [--seed N] [--requests N] [--out DIR]
+//! ```
+//!
+//! * `--quick` — the three canned smoke scenarios (also the default when
+//!   `BLOWFISH_BENCH_QUICK` is set); without it the full catalog runs;
+//! * `--scenario NAME` — one catalog scenario (repeatable);
+//! * `--seed N` / `--requests N` — override those axes on the selected
+//!   scenarios (reports remain deterministic per seed);
+//! * `--out DIR` — write `{DIR}/{scenario}.json` full reports (timing
+//!   included) plus `{DIR}/{scenario}.det.json` deterministic sections
+//!   (byte-identical across runs of one seed — the diffable artifact);
+//! * `--list` — print the catalog and exit.
+
+use blowfish_bench::simulate::{run, Scenario, SimReport};
+use blowfish_bench::{quick_mode, sci};
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = quick_mode();
+    let mut list = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut seed: Option<u64> = None;
+    let mut requests: Option<usize> = None;
+    let mut out: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--scenario" => match args.get(i + 1) {
+                Some(name) => {
+                    names.push(name.clone());
+                    i += 1;
+                }
+                None => return usage("--scenario needs a name"),
+            },
+            "--seed" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(v) => {
+                    seed = Some(v);
+                    i += 1;
+                }
+                None => return usage("--seed needs an integer"),
+            },
+            "--requests" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                Some(v) => {
+                    requests = Some(v);
+                    i += 1;
+                }
+                None => return usage("--requests needs an integer"),
+            },
+            "--out" => match args.get(i + 1) {
+                Some(dir) => {
+                    out = Some(dir.clone());
+                    i += 1;
+                }
+                None => return usage("--out needs a directory"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if list {
+        println!("available scenarios:");
+        for s in Scenario::catalog() {
+            println!("  {:<18} {}", s.name, s.description);
+        }
+        return 0;
+    }
+
+    let mut scenarios: Vec<Scenario> = if names.is_empty() {
+        if quick {
+            Scenario::quick_catalog()
+        } else {
+            Scenario::catalog()
+        }
+    } else {
+        let mut picked = Vec::new();
+        for name in &names {
+            match Scenario::find(name) {
+                Some(s) => picked.push(s),
+                None => {
+                    eprintln!("unknown scenario {name} (try --list)");
+                    return 2;
+                }
+            }
+        }
+        picked
+    };
+    for s in &mut scenarios {
+        if let Some(seed) = seed {
+            s.seed = seed;
+        }
+        if let Some(requests) = requests {
+            s.requests = requests;
+        }
+    }
+
+    let mut failed = false;
+    for scenario in &scenarios {
+        let report = match run(scenario) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("{}: simulation error: {e}", scenario.name);
+                return 2;
+            }
+        };
+        print_summary(&report);
+        if let Some(dir) = &out {
+            if let Err(e) = write_reports(dir, &report) {
+                eprintln!("{}: could not write reports: {e}", scenario.name);
+                return 2;
+            }
+        }
+        failed |= !report.passed();
+    }
+    if failed {
+        eprintln!("\nFAIL: at least one scenario violated a gate");
+        1
+    } else {
+        println!("\nall {} scenario(s) passed every gate", scenarios.len());
+        0
+    }
+}
+
+fn usage(problem: &str) -> i32 {
+    eprintln!(
+        "{problem}\nusage: blowfish_simulate [--quick] [--list] [--scenario NAME] \
+         [--seed N] [--requests N] [--out DIR]"
+    );
+    2
+}
+
+fn print_summary(report: &SimReport) {
+    let fits: usize = report.tenants.iter().map(|t| t.fits_requested).sum();
+    let admitted: usize = report.tenants.iter().map(|t| t.fits_admitted).sum();
+    let rejected: usize = report.tenants.iter().map(|t| t.fits_rejected).sum();
+    let queries: usize = report.tenants.iter().map(|t| t.queries_answered).sum();
+    println!(
+        "\n=== {} (seed {}) — {}",
+        report.scenario,
+        report.seed,
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "  {} requests over {} tenants: {admitted}/{fits} fits admitted \
+         ({rejected} budget-rejected), {queries} queries answered",
+        report.requests,
+        report.tenants.len(),
+    );
+    println!(
+        "  throughput {:.0} req/s, mean latency {:.1} µs, p99 {:.1} µs",
+        report.timing.requests_per_sec,
+        report.timing.mean_latency_ns / 1e3,
+        report.timing.p99_latency_ns as f64 / 1e3,
+    );
+    for t in &report.tenants {
+        let utility = match (t.measured_mse, t.expected_mse) {
+            (Some(m), Some(e)) => {
+                format!("mse {} vs expected {} ({:.2}x)", sci(m), sci(e), m / e)
+            }
+            (Some(m), None) => format!("mse {} (no closed form)", sci(m)),
+            _ => "no queries answered".to_string(),
+        };
+        println!(
+            "    {} [{:<13}] fits {:>3}/{:<3} spent {:>8.3}/{:<9.3} {utility}",
+            t.id, t.policy, t.fits_admitted, t.fits_requested, t.spent, t.budget,
+        );
+    }
+    for v in &report.violations {
+        println!("  VIOLATION: {v}");
+    }
+}
+
+fn write_reports(dir: &str, report: &SimReport) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let base = std::path::Path::new(dir);
+    std::fs::write(
+        base.join(format!("{}.json", report.scenario)),
+        report.to_json(),
+    )?;
+    std::fs::write(
+        base.join(format!("{}.det.json", report.scenario)),
+        report.deterministic_json(),
+    )?;
+    println!(
+        "  reports written to {}/{}.json (+ .det.json)",
+        dir, report.scenario
+    );
+    Ok(())
+}

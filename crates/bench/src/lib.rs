@@ -17,16 +17,31 @@
 //!
 //! Each binary accepts `--trials N` and `--queries N` to trade fidelity
 //! for speed; defaults follow the paper (5 trials, 10,000 queries).
+//!
+//! Beyond the figure reproductions, the [`simulate`] module is the
+//! trace-driven workload simulator (`blowfish_simulate` bin): seeded
+//! multi-tenant scenarios replayed through the engine's `Service` layer
+//! and scored against exact ledger/admission/utility oracles, emitting
+//! machine-readable [`SimReport`](simulate::SimReport) JSON. The
+//! [`report::snapshot`] module is the shared JSON layer those reports
+//! and the committed `BENCH_*.json` perf baselines both use — and the
+//! `bench_gate` bin diffs fresh bench runs against the baselines in CI.
 
 pub mod error;
 pub mod experiments;
 pub mod report;
+pub mod simulate;
 
 pub use error::BenchError;
 pub use experiments::{
     hist_panel, measure_bench, panel_description, range1d_panel, range2d_panel, theta_panel, Config,
 };
 pub use report::{print_panel, print_ratio, sci, Measurement};
+
+/// Whether quick mode (`BLOWFISH_BENCH_QUICK`) is active — benches, the
+/// workload simulator, and CI steps share the criterion shim's single
+/// parse site instead of each re-reading the environment.
+pub use criterion::quick_mode;
 
 /// Parses `--flag value` style overrides shared by the figure binaries.
 pub fn parse_args(args: &[String]) -> ArgOverrides {

@@ -1,4 +1,9 @@
-//! Markdown/console reporting helpers for the experiment harnesses.
+//! Markdown/console reporting helpers for the experiment harnesses, plus
+//! the machine-readable [`snapshot`] layer shared by the committed
+//! `BENCH_*.json` baselines, the CI bench-regression gate, and the
+//! `blowfish_simulate` run reports.
+
+pub mod snapshot;
 
 /// One measured cell of an experiment panel.
 #[derive(Clone, Debug)]

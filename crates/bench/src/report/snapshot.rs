@@ -1,0 +1,552 @@
+//! Machine-readable run snapshots: a minimal JSON value model shared by
+//! everything in this repo that emits or consumes result files — the
+//! committed `BENCH_*.json` perf baselines, the fresh snapshots the
+//! criterion shim writes under `BLOWFISH_BENCH_SNAPSHOT_DIR`, the
+//! `bench_gate` CI regression gate that diffs the two, and the
+//! [`SimReport`](crate::simulate::SimReport) JSON the workload simulator
+//! emits.
+//!
+//! The build environment has no crates.io access (so no `serde_json`);
+//! [`JsonValue`] is a small, dependency-free recursive-descent
+//! parser/writer covering the full JSON grammar. Objects preserve
+//! insertion order, and the writer is deterministic — two structurally
+//! identical values always serialize to byte-identical text, which is
+//! what lets seeded simulator runs be diffed across commits.
+//!
+//! Two bench-specific helpers ride on top:
+//!
+//! * [`extract_metrics`] pulls every `"group/id": mean_ns` pair out of a
+//!   snapshot document (bench ids always contain a `/`, settings keys
+//!   never do), optionally scoped to one named sub-object such as
+//!   `BENCH_plan.json`'s `this_pr_ns`;
+//! * [`compare_metrics`] diffs a baseline metric map against a fresh one
+//!   under a slowdown factor — the pure logic behind the `bench_gate`
+//!   binary, kept here so it is unit-testable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON document. Object member order is preserved (and written
+/// back in the same order), so round-trips are stable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a JSON document, rejecting trailing garbage.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object; `None` for non-objects/missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline —
+    /// deterministic (member order is preserved), diff-friendly, and in
+    /// the same style as the committed `BENCH_*.json` files.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number bytes");
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "non-ascii \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs are not needed by any snapshot
+                        // this repo writes; map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                let c = rest.chars().next().expect("non-empty rest");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    debug_assert_eq!(bytes[*pos], b'{');
+    *pos += 1;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    debug_assert_eq!(bytes[*pos], b'[');
+    *pos += 1;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn write_value(value: &JsonValue, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let inner = "  ".repeat(indent + 1);
+    match value {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        JsonValue::Num(n) => write_number(*n, out),
+        JsonValue::Str(s) => write_string(s, out),
+        JsonValue::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&inner);
+                write_value(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        JsonValue::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (key, member)) in members.iter().enumerate() {
+                out.push_str(&inner);
+                write_string(key, out);
+                out.push_str(": ");
+                write_value(member, indent + 1, out);
+                out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// JSON has no NaN/±inf; they serialize as `null` (and a deterministic
+/// report should never contain them anyway — scoring uses `Option`).
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Collects every `"group/id": number` metric in a snapshot document.
+/// Bench ids always contain a `/` (e.g. `engine/answer_10k_ranges`),
+/// settings and derived keys never do — that is the extraction rule.
+/// With `within`, extraction is scoped to the first object found under
+/// that key (searched recursively), so multi-section baselines like
+/// `BENCH_plan.json` (`pr2_baseline_ns` vs `this_pr_ns`) can name which
+/// section is the commitment.
+pub fn extract_metrics(doc: &JsonValue, within: Option<&str>) -> BTreeMap<String, f64> {
+    let root = match within {
+        Some(key) => match find_key(doc, key) {
+            Some(v) => v,
+            None => return BTreeMap::new(),
+        },
+        None => doc,
+    };
+    let mut out = BTreeMap::new();
+    collect_metrics(root, &mut out);
+    out
+}
+
+fn find_key<'a>(value: &'a JsonValue, key: &str) -> Option<&'a JsonValue> {
+    match value {
+        JsonValue::Obj(members) => {
+            if let Some(v) = value.get(key) {
+                return Some(v);
+            }
+            members.iter().find_map(|(_, v)| find_key(v, key))
+        }
+        JsonValue::Arr(items) => items.iter().find_map(|v| find_key(v, key)),
+        _ => None,
+    }
+}
+
+fn collect_metrics(value: &JsonValue, out: &mut BTreeMap<String, f64>) {
+    match value {
+        JsonValue::Obj(members) => {
+            for (key, member) in members {
+                match member {
+                    JsonValue::Num(n) if key.contains('/') => {
+                        out.insert(key.clone(), *n);
+                    }
+                    _ => collect_metrics(member, out),
+                }
+            }
+        }
+        JsonValue::Arr(items) => {
+            for item in items {
+                collect_metrics(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// One metric whose fresh mean exceeded the allowed slowdown factor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Full bench id (`group/name/param`).
+    pub id: String,
+    /// Committed baseline mean, ns/iter.
+    pub baseline_ns: f64,
+    /// Freshly measured mean, ns/iter.
+    pub fresh_ns: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+}
+
+/// Outcome of diffing a fresh metric map against a committed baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Metrics present in both maps and actually compared.
+    pub compared: usize,
+    /// Baseline metrics absent from the fresh run (informational — a
+    /// renamed bench shows up here, not as a silent pass).
+    pub missing: Vec<String>,
+    /// Metrics skipped because the baseline mean was below the noise
+    /// floor (`min_ns`).
+    pub below_floor: Vec<String>,
+    /// Metrics whose fresh mean exceeded `factor × baseline`, sorted by
+    /// descending ratio.
+    pub regressions: Vec<Regression>,
+}
+
+/// Diffs `fresh` against `baseline`: any metric whose fresh mean exceeds
+/// `factor × baseline` is a regression. Speedups never fail. Metrics with
+/// a baseline below `min_ns` are skipped — sub-noise-floor timings from
+/// quick-mode runs cannot carry a meaningful ratio.
+pub fn compare_metrics(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    factor: f64,
+    min_ns: f64,
+) -> Comparison {
+    let mut cmp = Comparison::default();
+    for (id, &base) in baseline {
+        let Some(&now) = fresh.get(id) else {
+            cmp.missing.push(id.clone());
+            continue;
+        };
+        if base < min_ns {
+            cmp.below_floor.push(id.clone());
+            continue;
+        }
+        cmp.compared += 1;
+        if now > factor * base {
+            cmp.regressions.push(Regression {
+                id: id.clone(),
+                baseline_ns: base,
+                fresh_ns: now,
+                ratio: now / base,
+            });
+        }
+    }
+    cmp.regressions
+        .sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("finite ratios"));
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_rewrites_round_trip() {
+        let text = r#"{
+  "bench": "engine",
+  "nested": { "a/b": 1.5, "k": 512, "deep": [ { "c/d/8": 3e2 } ] },
+  "flags": [true, false, null],
+  "label": "θ-line \"quoted\" A"
+}"#;
+        let doc = JsonValue::parse(text).unwrap();
+        assert_eq!(doc.get("bench").and_then(JsonValue::as_str), Some("engine"));
+        assert_eq!(
+            doc.get("label").and_then(JsonValue::as_str),
+            Some("θ-line \"quoted\" A")
+        );
+        // Round trip: pretty → parse → identical value.
+        let pretty = doc.to_pretty();
+        assert_eq!(JsonValue::parse(&pretty).unwrap(), doc);
+        // Writing twice is byte-identical (determinism).
+        assert_eq!(pretty, JsonValue::parse(&pretty).unwrap().to_pretty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("{\"a\": }").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse("{\"a\": 1} extra").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("1.2.3").is_err());
+    }
+
+    #[test]
+    fn extracts_slash_keyed_metrics_recursively() {
+        let text = r#"{
+  "settings": { "k": 512, "theta": 4 },
+  "results_ns_per_iter": { "engine/fit/512": 100.0, "engine/plan/512": 200.0 },
+  "environments": [ { "results": { "service/fit_512_serial": 300.0 } } ]
+}"#;
+        let doc = JsonValue::parse(text).unwrap();
+        let metrics = extract_metrics(&doc, None);
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics["engine/fit/512"], 100.0);
+        assert_eq!(metrics["service/fit_512_serial"], 300.0);
+        // `k`/`theta` (no slash) are not metrics.
+        assert!(!metrics.contains_key("k"));
+    }
+
+    #[test]
+    fn extraction_scopes_to_a_named_section() {
+        let text = r#"{
+  "pr2_baseline_ns": { "engine/fit/512": 999.0 },
+  "this_pr_ns": { "engine/fit/512": 100.0 }
+}"#;
+        let doc = JsonValue::parse(text).unwrap();
+        let scoped = extract_metrics(&doc, Some("this_pr_ns"));
+        assert_eq!(scoped["engine/fit/512"], 100.0);
+        assert!(extract_metrics(&doc, Some("no_such_section")).is_empty());
+    }
+
+    #[test]
+    fn committed_baselines_parse_and_yield_metrics() {
+        // The real committed snapshots must stay consumable by the gate.
+        for (file, within, expect_at_least) in [
+            ("../../BENCH_engine.json", None, 8),
+            ("../../BENCH_plan.json", Some("this_pr_ns"), 8),
+            ("../../BENCH_service.json", None, 4),
+        ] {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            let doc =
+                JsonValue::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()));
+            let metrics = extract_metrics(&doc, within);
+            assert!(
+                metrics.len() >= expect_at_least,
+                "{file}: got {} metrics",
+                metrics.len()
+            );
+            assert!(metrics.values().all(|v| v.is_finite() && *v > 0.0));
+        }
+    }
+
+    #[test]
+    fn comparison_flags_slowdowns_not_speedups() {
+        let baseline: BTreeMap<String, f64> = [
+            ("a/fast".to_string(), 100.0),
+            ("a/slow".to_string(), 100.0),
+            ("a/tiny".to_string(), 5.0),
+            ("a/gone".to_string(), 100.0),
+        ]
+        .into();
+        let fresh: BTreeMap<String, f64> = [
+            ("a/fast".to_string(), 20.0),  // 5x speedup: fine
+            ("a/slow".to_string(), 450.0), // 4.5x slowdown: regression
+            ("a/tiny".to_string(), 500.0), // below floor: skipped
+        ]
+        .into();
+        let cmp = compare_metrics(&baseline, &fresh, 3.0, 50.0);
+        assert_eq!(cmp.compared, 2);
+        assert_eq!(cmp.missing, vec!["a/gone".to_string()]);
+        assert_eq!(cmp.below_floor, vec!["a/tiny".to_string()]);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert_eq!(cmp.regressions[0].id, "a/slow");
+        assert!((cmp.regressions[0].ratio - 4.5).abs() < 1e-12);
+        // At exactly the factor boundary nothing fires.
+        let at_boundary: BTreeMap<String, f64> = [("a/slow".to_string(), 300.0)].into();
+        assert!(compare_metrics(&baseline, &at_boundary, 3.0, 0.0)
+            .regressions
+            .is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end guarantees of the trace simulator:
+//!
+//! * **seeded round-trip** — the same seed produces a byte-identical
+//!   trace (Debug rendering covers every tenant field and request) and
+//!   an f64-identical deterministic `SimReport`, run to run and service
+//!   to service;
+//! * **acceptance trace** — a ≥ 1k-request, ≥ 4-tenant, mixed-policy
+//!   trace replays deterministically with the ledger reconciling exactly
+//!   and zero gate violations;
+//! * **ledger reconciliation property** — for *any* generated scenario
+//!   in a randomized family (tenant counts, budgets, fit fractions,
+//!   arrival patterns), every tenant's ledger spend equals the fold of
+//!   its fit receipts bit-for-bit, admissions match the analytic oracle
+//!   exactly, and uniform-ε tenants reject precisely past ⌊budget/ε⌋.
+
+use blowfish_bench::simulate::{
+    generate, run, score, ArrivalPattern, PolicyFamily, Scenario, SpecChoice,
+};
+use blowfish_core::{BudgetDistribution, QueryMix};
+use proptest::prelude::*;
+
+/// A small randomized scenario family for the property tests: cheap
+/// enough to replay dozens of cases, varied enough to exercise every
+/// arrival pattern, both spec choices, and budgets from starved to ample.
+fn small_scenario(
+    seed: u64,
+    tenants: usize,
+    budget: f64,
+    fit_fraction: f64,
+    arrival_pick: u8,
+    planner: bool,
+) -> Scenario {
+    Scenario {
+        name: format!("prop-{seed}-{tenants}"),
+        description: "randomized property-test scenario".to_string(),
+        seed,
+        tenants,
+        policies: vec![
+            PolicyFamily::Line,
+            PolicyFamily::ThetaLine { theta: 2 },
+            PolicyFamily::Tree,
+        ],
+        domain_1d: 24,
+        grid_k: 6,
+        scale: 2_000,
+        eps: 0.5,
+        budget: BudgetDistribution::Fixed(budget),
+        requests: 120.max(tenants),
+        fit_fraction,
+        queries_per_answer: 4,
+        mix: QueryMix::balanced(),
+        arrival: match arrival_pick % 3 {
+            0 => ArrivalPattern::Uniform,
+            1 => ArrivalPattern::Bursty { burst: 3 },
+            _ => ArrivalPattern::HotKey { skew: 1.1 },
+        },
+        specs: if planner {
+            SpecChoice::Planner
+        } else {
+            SpecChoice::ClosedForm
+        },
+    }
+}
+
+#[test]
+fn same_seed_means_byte_identical_trace_and_report() {
+    let scenario = Scenario::find("smoke-mixed").expect("canned scenario");
+    // Trace level: byte-identical (Debug covers every field).
+    let a = generate(&scenario).unwrap();
+    let b = generate(&scenario).unwrap();
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    // Report level: two replays of that one trace against two fresh
+    // services are f64-identical in the deterministic section…
+    let ra = score(&scenario, &a).unwrap();
+    let rb = score(&scenario, &b).unwrap();
+    assert_eq!(ra.deterministic_json(), rb.deterministic_json());
+    // …and so are full end-to-end runs.
+    assert_eq!(
+        run(&scenario).unwrap().deterministic_json(),
+        run(&scenario).unwrap().deterministic_json()
+    );
+    // A different seed changes the trace.
+    let mut other = scenario.clone();
+    other.seed += 1;
+    assert_ne!(
+        run(&other).unwrap().deterministic_json(),
+        ra.deterministic_json()
+    );
+}
+
+#[test]
+fn acceptance_trace_is_big_mixed_and_clean() {
+    // The PR's acceptance shape: ≥ 1k requests, ≥ 4 tenants, mixed
+    // policies, deterministic replay, exact ledger reconciliation.
+    let scenario = Scenario::find("smoke-mixed").expect("canned scenario");
+    assert!(scenario.requests >= 1000);
+    assert!(scenario.tenants >= 4);
+    let families: std::collections::HashSet<String> = (0..scenario.tenants)
+        .map(|t| scenario.family(t).label())
+        .collect();
+    assert!(families.len() >= 2, "mixed-policy trace required");
+    let trace = generate(&scenario).unwrap();
+    let report = score(&scenario, &trace).unwrap();
+    assert!(report.passed(), "{:#?}", report.violations);
+    // Every fit request in the trace is accounted for in the report.
+    let fits_requested: usize = report.tenants.iter().map(|t| t.fits_requested).sum();
+    assert_eq!(fits_requested, trace.fit_count());
+    for t in &report.tenants {
+        assert_eq!(t.spent, t.receipt_sum, "{}: exact reconciliation", t.id);
+        assert_eq!(t.fits_admitted, t.expected_admitted, "{}", t.id);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_generated_trace_reconciles_ledger_to_receipts(
+        seed in 0u64..1_000_000,
+        tenants in 1usize..7,
+        budget in 0.3f64..40.0,
+        fit_fraction in 0.1f64..1.0,
+        arrival_pick in 0u8..3,
+        planner_pick in 0u8..2,
+    ) {
+        let planner = planner_pick == 1;
+        let scenario = small_scenario(seed, tenants, budget, fit_fraction, arrival_pick, planner);
+        let report = run(&scenario).expect("simulation runs");
+        prop_assert!(report.passed(), "violations: {:#?}", report.violations);
+        for t in &report.tenants {
+            // Bitwise ledger reconciliation: same additions, same order.
+            prop_assert_eq!(t.spent, t.receipt_sum);
+            prop_assert_eq!(t.fits_admitted, t.expected_admitted);
+            prop_assert_eq!(t.fits_admitted + t.fits_rejected, t.fits_requested);
+            prop_assert!(t.remaining >= 0.0);
+            prop_assert!(t.spent <= t.budget + 1e-9 + 1e-12 * t.budget);
+            // Uniform per-fit ε: rejections begin exactly at ⌊budget/ε⌋.
+            let charge = if planner { t.eps } else {
+                // ClosedForm: line tenants charge ε, others (baseline) ε/2.
+                if t.policy == "line" { t.eps } else { t.eps / 2.0 }
+            };
+            let floor = (t.budget / charge).floor() as usize;
+            prop_assert_eq!(t.fits_admitted, floor.min(t.fits_requested));
+        }
+    }
+}

@@ -24,6 +24,8 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
+use rand::Rng;
+
 use crate::CoreError;
 
 /// A validated privacy budget ε > 0.
@@ -74,6 +76,70 @@ impl Epsilon {
 impl std::fmt::Display for Epsilon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "ε={}", self.0)
+    }
+}
+
+/// How per-tenant total budgets are assigned when a simulated population
+/// of tenants is generated: real multi-tenant traffic is rarely uniform
+/// (a few tenants hold deep budgets, the long tail runs on scraps), and
+/// admission behavior — where exactly `⌊budget/ε⌋` cuts off — depends on
+/// the draw. Sampling is deterministic given the RNG state, so seeded
+/// traces reproduce identical budget assignments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BudgetDistribution {
+    /// Every tenant gets the same total budget.
+    Fixed(f64),
+    /// Budgets drawn uniformly from `[lo, hi)`.
+    Uniform {
+        /// Smallest assignable budget.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// A two-tier population: every `high_every`-th tenant (by index) is
+    /// a deep-budget tenant at `high`, the rest run at `low`.
+    Tiered {
+        /// Budget of the long-tail tenants.
+        low: f64,
+        /// Budget of the deep-pocketed tier.
+        high: f64,
+        /// Tier period: tenant indices divisible by this get `high`.
+        high_every: usize,
+    },
+}
+
+impl BudgetDistribution {
+    /// Draws the total budget of the tenant at `index`. `Fixed` and
+    /// `Tiered` are index-deterministic and ignore the RNG; `Uniform`
+    /// consumes exactly one draw.
+    pub fn sample<R: Rng + ?Sized>(&self, index: usize, rng: &mut R) -> Result<Epsilon, CoreError> {
+        match *self {
+            BudgetDistribution::Fixed(v) => Epsilon::new(v),
+            BudgetDistribution::Uniform { lo, hi } => {
+                if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi <= lo {
+                    return Err(CoreError::InvalidCharge {
+                        reason: "uniform budget distribution needs 0 < lo < hi",
+                    });
+                }
+                Epsilon::new(rng.gen_range(lo..hi))
+            }
+            BudgetDistribution::Tiered {
+                low,
+                high,
+                high_every,
+            } => {
+                if high_every == 0 {
+                    return Err(CoreError::InvalidCharge {
+                        reason: "tiered budget distribution needs high_every ≥ 1",
+                    });
+                }
+                Epsilon::new(if index.is_multiple_of(high_every) {
+                    high
+                } else {
+                    low
+                })
+            }
+        }
     }
 }
 
@@ -157,7 +223,11 @@ impl BudgetLedger {
 /// absorbs thousands of charges) while keeping the admissible overdraw
 /// proportionally negligible — a 10¹² budget can exceed by at most
 /// ~1 ε, not the ~10³ ε a purely relative `1e-9` slack would allow.
-fn overdraw_slack(total: f64) -> f64 {
+///
+/// Public so external admission *oracles* (the trace simulator's scorer
+/// predicts exactly which fits a ledger will admit) can replicate the
+/// rule instead of duplicating the constants.
+pub fn overdraw_slack(total: f64) -> f64 {
     1e-9 + 1e-12 * total
 }
 
@@ -413,6 +483,52 @@ mod tests {
         assert!((e.half().value() - 0.45).abs() < 1e-12);
         assert!(e.split(0).is_err());
         assert!(e.for_stretch(0).is_err());
+    }
+
+    #[test]
+    fn budget_distribution_sampling() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(
+            BudgetDistribution::Fixed(2.0)
+                .sample(3, &mut rng)
+                .unwrap()
+                .value(),
+            2.0
+        );
+        let tiered = BudgetDistribution::Tiered {
+            low: 1.0,
+            high: 100.0,
+            high_every: 4,
+        };
+        assert_eq!(tiered.sample(0, &mut rng).unwrap().value(), 100.0);
+        assert_eq!(tiered.sample(1, &mut rng).unwrap().value(), 1.0);
+        assert_eq!(tiered.sample(4, &mut rng).unwrap().value(), 100.0);
+        let uniform = BudgetDistribution::Uniform { lo: 0.5, hi: 1.5 };
+        for i in 0..20 {
+            let b = uniform.sample(i, &mut rng).unwrap().value();
+            assert!((0.5..1.5).contains(&b));
+        }
+        // Seeded draws reproduce.
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(
+            uniform.sample(0, &mut a).unwrap(),
+            uniform.sample(0, &mut b).unwrap()
+        );
+        // Invalid parameterizations are typed errors.
+        assert!(BudgetDistribution::Fixed(0.0).sample(0, &mut rng).is_err());
+        assert!(BudgetDistribution::Uniform { lo: 2.0, hi: 1.0 }
+            .sample(0, &mut rng)
+            .is_err());
+        assert!(BudgetDistribution::Tiered {
+            low: 1.0,
+            high: 2.0,
+            high_every: 0
+        }
+        .sample(0, &mut rng)
+        .is_err());
     }
 
     #[test]

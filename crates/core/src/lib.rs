@@ -65,7 +65,10 @@ pub mod sensitivity;
 pub mod spanner;
 pub mod workload;
 
-pub use accounting::{AccountSnapshot, BudgetLedger, Charge, Delta, Epsilon, Ledger};
+pub use accounting::{
+    overdraw_slack, AccountSnapshot, BudgetDistribution, BudgetLedger, Charge, Delta, Epsilon,
+    Ledger,
+};
 pub use database::DataVector;
 pub use domain::Domain;
 pub use error_measure::{measure_error, mse_per_query, ErrorReport};
@@ -81,7 +84,8 @@ pub use spanner::{
     bfs_spanning_tree, theta_grid_spanner, theta_line_spanner, ThetaGridSpanner, ThetaLineSpanner,
 };
 pub use workload::{
-    all_range_specs, random_range_specs, range_gram, range_gram_1d, RangeQuery, Workload,
+    all_range_specs, random_range_specs, range_gram, range_gram_1d, sample_query, sample_query_mix,
+    QueryKind, QueryMix, RangeQuery, Workload,
 };
 
 /// One-stop imports for downstream crates and examples.

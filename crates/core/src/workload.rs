@@ -266,6 +266,164 @@ impl Workload {
     }
 }
 
+/// The query shapes a mixed serving workload draws from. Every kind is
+/// expressible as a (hyper-)rectangle, so samplers emit [`RangeQuery`]s
+/// answerable through the O(1) prefix-sum serving path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// A single cell (`lo = hi` in every dimension) — the Hist task.
+    Point,
+    /// A uniformly random range (the Section-6 experimental workload).
+    Range,
+    /// A prefix box `[0, r]` per dimension (cumulative-histogram style).
+    Prefix,
+    /// A one-way marginal slice: one dimension pinned to a value, every
+    /// other dimension spanning its full extent. Degenerates to a point
+    /// query on 1-D domains.
+    Marginal,
+}
+
+/// Relative weights of the four [`QueryKind`]s in a mixed workload.
+/// Weights need not sum to 1 — only ratios matter — but must be
+/// non-negative, finite, and not all zero.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryMix {
+    /// Weight of [`QueryKind::Point`].
+    pub point: f64,
+    /// Weight of [`QueryKind::Range`].
+    pub range: f64,
+    /// Weight of [`QueryKind::Prefix`].
+    pub prefix: f64,
+    /// Weight of [`QueryKind::Marginal`].
+    pub marginal: f64,
+}
+
+impl QueryMix {
+    /// Only uniformly random ranges — the paper's experimental workload.
+    pub fn ranges_only() -> Self {
+        QueryMix {
+            point: 0.0,
+            range: 1.0,
+            prefix: 0.0,
+            marginal: 0.0,
+        }
+    }
+
+    /// An even blend of all four kinds.
+    pub fn balanced() -> Self {
+        QueryMix {
+            point: 1.0,
+            range: 1.0,
+            prefix: 1.0,
+            marginal: 1.0,
+        }
+    }
+
+    /// Validates the weights and returns their sum.
+    fn total(&self) -> Result<f64, CoreError> {
+        let weights = [self.point, self.range, self.prefix, self.marginal];
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(CoreError::InvalidCharge {
+                reason: "query mix weights must be finite and non-negative",
+            });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(CoreError::InvalidCharge {
+                reason: "query mix weights must not all be zero",
+            });
+        }
+        Ok(total)
+    }
+
+    /// Draws one query kind with probability proportional to its weight.
+    pub fn sample_kind<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<QueryKind, CoreError> {
+        let total = self.total()?;
+        let mut u = rng.gen_range(0.0..total);
+        for (kind, w) in [
+            (QueryKind::Point, self.point),
+            (QueryKind::Range, self.range),
+            (QueryKind::Prefix, self.prefix),
+            (QueryKind::Marginal, self.marginal),
+        ] {
+            if u < w {
+                return Ok(kind);
+            }
+            u -= w;
+        }
+        // Float round-off at the very top of the cumulative sum: return
+        // the last positively weighted kind.
+        Ok(if self.marginal > 0.0 {
+            QueryKind::Marginal
+        } else if self.prefix > 0.0 {
+            QueryKind::Prefix
+        } else if self.range > 0.0 {
+            QueryKind::Range
+        } else {
+            QueryKind::Point
+        })
+    }
+}
+
+/// Samples one query of the given kind over `domain`.
+pub fn sample_query<R: Rng + ?Sized>(domain: &Domain, kind: QueryKind, rng: &mut R) -> RangeQuery {
+    let d = domain.num_dims();
+    let mut lo = Vec::with_capacity(d);
+    let mut hi = Vec::with_capacity(d);
+    match kind {
+        QueryKind::Point => {
+            for dim in 0..d {
+                let v = rng.gen_range(0..domain.dim(dim));
+                lo.push(v);
+                hi.push(v);
+            }
+        }
+        QueryKind::Range => {
+            for dim in 0..d {
+                let k = domain.dim(dim);
+                let a = rng.gen_range(0..k);
+                let b = rng.gen_range(0..k);
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+        }
+        QueryKind::Prefix => {
+            for dim in 0..d {
+                lo.push(0);
+                hi.push(rng.gen_range(0..domain.dim(dim)));
+            }
+        }
+        QueryKind::Marginal => {
+            let pinned = rng.gen_range(0..d);
+            for dim in 0..d {
+                if dim == pinned {
+                    let v = rng.gen_range(0..domain.dim(dim));
+                    lo.push(v);
+                    hi.push(v);
+                } else {
+                    lo.push(0);
+                    hi.push(domain.dim(dim) - 1);
+                }
+            }
+        }
+    }
+    RangeQuery { lo, hi }
+}
+
+/// Samples `count` queries from a weighted [`QueryMix`] over `domain` —
+/// the mixed per-request workloads the trace simulator replays against
+/// the service layer.
+pub fn sample_query_mix<R: Rng + ?Sized>(
+    domain: &Domain,
+    mix: &QueryMix,
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<RangeQuery>, CoreError> {
+    (0..count)
+        .map(|_| Ok(sample_query(domain, mix.sample_kind(rng)?, rng)))
+        .collect()
+}
+
 /// Enumerates all range specs over `domain`.
 pub fn all_range_specs(domain: &Domain) -> Vec<RangeQuery> {
     let d = domain.num_dims();
@@ -506,6 +664,71 @@ mod tests {
         let dm = w.to_dense_matrix();
         let sm = w.to_sparse_matrix();
         assert!(sm.to_dense().approx_eq(&dm, 0.0));
+    }
+
+    #[test]
+    fn query_mix_samples_valid_and_seeded() {
+        let d = Domain::square(8);
+        let mix = QueryMix::balanced();
+        let mut rng = StdRng::seed_from_u64(9);
+        let qs = sample_query_mix(&d, &mix, 200, &mut rng).unwrap();
+        assert_eq!(qs.len(), 200);
+        for q in &qs {
+            // Every sampled query must validate against the domain.
+            RangeQuery::new(&d, q.lo.clone(), q.hi.clone()).unwrap();
+        }
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let qs2 = sample_query_mix(&d, &mix, 200, &mut rng2).unwrap();
+        assert_eq!(qs, qs2, "same seed must reproduce the same queries");
+    }
+
+    #[test]
+    fn query_kinds_have_their_shapes() {
+        let d = Domain::square(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let p = sample_query(&d, QueryKind::Point, &mut rng);
+            assert_eq!(p.lo, p.hi);
+            let pre = sample_query(&d, QueryKind::Prefix, &mut rng);
+            assert_eq!(pre.lo, vec![0, 0]);
+            let m = sample_query(&d, QueryKind::Marginal, &mut rng);
+            // Exactly one dimension pinned, the other full.
+            let pinned: Vec<usize> = (0..2).filter(|&i| m.lo[i] == m.hi[i]).collect();
+            let full: Vec<usize> = (0..2).filter(|&i| m.lo[i] == 0 && m.hi[i] == 5).collect();
+            assert!(!pinned.is_empty() && !full.is_empty(), "{m:?}");
+        }
+        // 1-D marginal degenerates to a point.
+        let one = Domain::one_dim(4);
+        let m = sample_query(&one, QueryKind::Marginal, &mut rng);
+        assert_eq!(m.lo, m.hi);
+    }
+
+    #[test]
+    fn query_mix_validation() {
+        let d = Domain::one_dim(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let zero = QueryMix {
+            point: 0.0,
+            range: 0.0,
+            prefix: 0.0,
+            marginal: 0.0,
+        };
+        assert!(sample_query_mix(&d, &zero, 1, &mut rng).is_err());
+        let neg = QueryMix {
+            point: -1.0,
+            ..QueryMix::balanced()
+        };
+        assert!(sample_query_mix(&d, &neg, 1, &mut rng).is_err());
+        // Single-kind mixes always draw that kind.
+        let only_points = QueryMix {
+            point: 2.0,
+            range: 0.0,
+            prefix: 0.0,
+            marginal: 0.0,
+        };
+        for _ in 0..20 {
+            assert_eq!(only_points.sample_kind(&mut rng).unwrap(), QueryKind::Point);
+        }
     }
 
     #[test]

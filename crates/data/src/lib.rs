@@ -20,7 +20,7 @@ pub mod table1;
 pub mod twitter;
 
 pub use aggregate::{aggregate_1d, aggregate_2d};
-pub use synthetic::{generate_1d, Shape, SyntheticSpec};
+pub use synthetic::{generate_1d, scenario_population, Shape, SyntheticSpec};
 pub use table1::{
     dataset, dataset_with_seed, paper_stats, table1_rows, DatasetId, PaperStats, Table1Row,
 };

@@ -102,7 +102,7 @@ pub mod wire;
 
 pub use parallel::{fit_cells, fit_cells_serial, parallel_map, FitCell};
 pub use plan::{PlanCache, PlanStats};
-pub use service::{Request, Response, Service, TenantConfig, TenantStats};
+pub use service::{Replayed, Request, Response, Service, TenantConfig, TenantStats};
 pub use session::{Fitted, Plan, Policy, Session};
 pub use spec::{MechanismSpec, Task};
 pub use wire::{handle_line, WireReply};

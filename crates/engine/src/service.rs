@@ -35,6 +35,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -162,6 +163,25 @@ pub enum Response {
         /// Total artifact derivations in the shared plan cache.
         artifact_builds: usize,
     },
+}
+
+/// One request's outcome from a trace replay ([`Service::replay`] /
+/// [`Service::replay_parallel`]): the response plus the wall-clock
+/// serving latency of just that request.
+#[derive(Clone, Debug)]
+pub struct Replayed {
+    /// The request's outcome — requests succeed or fail independently.
+    pub response: Result<Response, EngineError>,
+    /// Wall-clock nanoseconds spent inside [`Service::handle`] for this
+    /// request (measurement only — never part of deterministic scoring).
+    pub latency_ns: u64,
+}
+
+impl Replayed {
+    /// Whether the request was served successfully.
+    pub fn is_ok(&self) -> bool {
+        self.response.is_ok()
+    }
 }
 
 /// A long-running, concurrent, budget-metered multi-tenant engine
@@ -303,6 +323,40 @@ impl Service {
     /// concurrent fits from jointly overdrawing any account.
     pub fn handle_many(&self, requests: &[Request]) -> Vec<Result<Response, EngineError>> {
         parallel_map(requests, |_, request| self.handle(request))
+    }
+
+    /// Replays a trace **in order on the calling thread**, capturing the
+    /// per-request serving latency. Because requests are served strictly
+    /// sequentially, everything order-dependent — which fits are admitted
+    /// against a tightening budget, which handles exist when an answer
+    /// arrives — is fully deterministic: replaying the same trace against
+    /// a freshly built service always produces f64-identical responses
+    /// (latencies, of course, vary). This is the trace simulator's scoring
+    /// entry point.
+    pub fn replay(&self, requests: &[Request]) -> Vec<Replayed> {
+        requests.iter().map(|r| self.timed_handle(r)).collect()
+    }
+
+    /// Replays a trace fanned across cores ([`parallel_map`]), preserving
+    /// request order in the result vector. Latencies are captured per
+    /// request. Unlike [`Service::replay`], *admission order* under a
+    /// near-exhausted budget is scheduling-dependent: the **count** of
+    /// admitted fits per tenant stays deterministic when all of a
+    /// tenant's fits request the same ε (the ledger admits exactly
+    /// ⌊budget/ε⌋ of them in any interleaving), but *which* requests get
+    /// the rejections may differ run to run. Use for throughput
+    /// measurement; score utility from the serial replay.
+    pub fn replay_parallel(&self, requests: &[Request]) -> Vec<Replayed> {
+        parallel_map(requests, |_, request| self.timed_handle(request))
+    }
+
+    fn timed_handle(&self, request: &Request) -> Replayed {
+        let start = Instant::now();
+        let response = self.handle(request);
+        Replayed {
+            response,
+            latency_ns: start.elapsed().as_nanos() as u64,
+        }
     }
 
     fn tenant(&self, id: &str) -> Result<Arc<Tenant>, EngineError> {
@@ -511,6 +565,56 @@ mod tests {
             Err(EngineError::UnknownEstimate { .. })
         ));
         assert!((service.ledger().spent("acme").unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_order_faithful() {
+        let trace: Vec<Request> = (0..8)
+            .map(|i| {
+                if i % 3 == 2 {
+                    Request::Answer {
+                        tenant: "acme".into(),
+                        handle: "h".into(),
+                        queries: vec![RangeQuery::one_dim(&Domain::one_dim(16), 2, 11).unwrap()],
+                    }
+                } else {
+                    Request::Fit {
+                        tenant: "acme".into(),
+                        spec: None,
+                        task: Task::Histogram,
+                        seed: i,
+                        handle: "h".into(),
+                    }
+                }
+            })
+            .collect();
+        // Budget admits exactly 3 of the 6 fits (⌊1.5/0.5⌋ = 3).
+        let run = |budget: f64| -> Vec<String> {
+            let service = service_with_tenant("acme", budget);
+            service
+                .replay(&trace)
+                .into_iter()
+                .map(|r| format!("{:?}", r.response))
+                .collect()
+        };
+        let a = run(1.5);
+        let b = run(1.5);
+        assert_eq!(a, b, "serial replay must be deterministic");
+        let admitted = a.iter().filter(|s| s.contains("Fitted")).count();
+        assert_eq!(admitted, 3, "ledger admits exactly ⌊budget/ε⌋ fits");
+        // Latencies are captured for every request.
+        let service = service_with_tenant("acme", 1.5);
+        let replayed = service.replay(&trace);
+        assert_eq!(replayed.len(), trace.len());
+        // The parallel variant preserves order and the admitted count.
+        let service = service_with_tenant("acme", 1.5);
+        let par = service.replay_parallel(&trace);
+        assert_eq!(par.len(), trace.len());
+        let par_admitted = par
+            .iter()
+            .filter(|r| matches!(r.response, Ok(Response::Fitted { .. })))
+            .count();
+        assert_eq!(par_admitted, 3);
     }
 
     #[test]

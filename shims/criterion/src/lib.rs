@@ -14,22 +14,48 @@
 //! criterion tracks regressions through its own baseline machinery
 //! instead).
 //!
-//! Two shim-only extensions support CI perf smoke-testing:
+//! Shim-only extensions support CI perf smoke-testing (when swapping the
+//! real criterion crate back in, the bench epilogues using them are the
+//! only sources that must change):
 //!
 //! * **quick mode** — setting `BLOWFISH_BENCH_QUICK=1` shrinks the warm-up
 //!   and measurement windows (~10x) so a full bench binary finishes in
 //!   seconds; timings are noisier but still resolve order-of-magnitude
-//!   relations such as cached-vs-cold;
+//!   relations such as cached-vs-cold. [`quick_mode`] is the single parse
+//!   site for the env var — benches and the `blowfish_simulate` harness
+//!   share it instead of re-reading the environment;
 //! * **readable results** — [`Criterion::mean_ns`] returns a completed
 //!   benchmark's mean by its full `group/id` name, letting a bench binary
 //!   `assert!` perf invariants (e.g. cached plans beat cold plans) so a
 //!   regression fails `cargo bench` — and the CI smoke step — instead of
-//!   rotting silently.
+//!   rotting silently;
+//! * **snapshot files** — [`Criterion::write_snapshot`] dumps every
+//!   recorded mean as `{dir}/{bench}.json` when
+//!   `BLOWFISH_BENCH_SNAPSHOT_DIR` is set, in the same
+//!   `results_ns_per_iter` schema the committed `BENCH_*.json` baselines
+//!   use, so CI's `bench_gate` can diff fresh runs against them.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Canonical name of the quick-mode environment variable (set by the CI
+/// smoke steps).
+pub const QUICK_MODE_ENV: &str = "BLOWFISH_BENCH_QUICK";
+
+/// Environment variable naming the directory [`Criterion::write_snapshot`]
+/// writes fresh `{bench}.json` result snapshots into; unset means no
+/// snapshots are written.
+pub const SNAPSHOT_DIR_ENV: &str = "BLOWFISH_BENCH_SNAPSHOT_DIR";
+
+/// Whether quick mode is enabled: [`QUICK_MODE_ENV`] is set to anything
+/// but `""`/`"0"`. The one shared parse site — benches, the workload
+/// simulator, and this shim's timing loops all consult it.
+pub fn quick_mode() -> bool {
+    std::env::var(QUICK_MODE_ENV).is_ok_and(|v| v != "0" && !v.is_empty())
+}
 
 /// Re-exported hint preventing the optimizer from eliding benchmarked work.
 pub fn black_box<T>(x: T) -> T {
@@ -180,7 +206,7 @@ impl Default for Criterion {
         // Cargo's test harness protocol passes `--test`; `cargo bench`
         // passes `--bench`. In test mode each routine runs exactly once.
         let test_mode = std::env::args().any(|a| a == "--test");
-        let quick = std::env::var("BLOWFISH_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+        let quick = quick_mode();
         Criterion {
             test_mode,
             quick,
@@ -211,6 +237,40 @@ impl Criterion {
         self.results.borrow().get(full_id).copied()
     }
 
+    /// Writes every recorded mean to `{SNAPSHOT_DIR}/{bench}.json` in the
+    /// committed `BENCH_*.json` schema (`{"bench": …,
+    /// "results_ns_per_iter": {id: mean_ns, …}}`), creating the directory
+    /// if needed. No-op (returns `None`) when [`SNAPSHOT_DIR_ENV`] is
+    /// unset, in test mode, or when no results were recorded; returns the
+    /// written path otherwise. Shim extension used by CI's
+    /// bench-regression gate.
+    pub fn write_snapshot(&self, bench: &str) -> Option<PathBuf> {
+        let dir = std::env::var(SNAPSHOT_DIR_ENV).ok()?;
+        let results = self.results.borrow();
+        if self.test_mode || results.is_empty() {
+            return None;
+        }
+        let mut ids: Vec<&String> = results.keys().collect();
+        ids.sort();
+        let mut json = String::from("{\n");
+        json.push_str(&format!("  \"bench\": \"{}\",\n", escape_json(bench)));
+        json.push_str("  \"results_ns_per_iter\": {\n");
+        for (i, id) in ids.iter().enumerate() {
+            let comma = if i + 1 < ids.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    \"{}\": {}{comma}\n",
+                escape_json(id),
+                results[*id]
+            ));
+        }
+        json.push_str("  }\n}\n");
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{bench}.json"));
+        std::fs::write(&path, json).ok()?;
+        Some(path)
+    }
+
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
@@ -227,6 +287,21 @@ impl Criterion {
 
     #[doc(hidden)]
     pub fn final_summary(&self) {}
+}
+
+/// Minimal JSON string escaping for bench ids and names (quotes,
+/// backslashes, control characters).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Declares a group of benchmark functions, mirroring criterion's macro.
@@ -276,6 +351,31 @@ mod tests {
     #[test]
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("matmul", 128).to_string(), "matmul/128");
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let c = Criterion {
+            test_mode: false,
+            quick: true,
+            results: RefCell::new(HashMap::from([
+                ("g/fast/8".to_string(), 12.5),
+                ("g/slow/8".to_string(), 99.0),
+            ])),
+        };
+        let dir = std::env::temp_dir().join(format!("criterion-shim-snap-{}", std::process::id()));
+        // The writer is driven by the env var; set it just for this test.
+        std::env::set_var(SNAPSHOT_DIR_ENV, &dir);
+        let path = c.write_snapshot("unit").expect("snapshot written");
+        std::env::remove_var(SNAPSHOT_DIR_ENV);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"unit\""));
+        assert!(text.contains("\"g/fast/8\": 12.5"));
+        assert!(text.contains("\"g/slow/8\": 99"));
+        // Keys are sorted, so fast precedes slow deterministically.
+        assert!(text.find("g/fast").unwrap() < text.find("g/slow").unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 
     #[test]
