@@ -41,11 +41,19 @@
 //! blowfish_simulate -- --quick` (the CI smoke), `--list` for the
 //! catalog, `--scenario <name> [--seed N] [--requests N] [--out DIR]`
 //! for one scenario with a JSON report.
+//!
+//! **TCP load testing** ([`loadtest`]): the same traces replayed over a
+//! real loopback socket server from hundreds-to-thousands of concurrent
+//! connections (`blowfish_loadtest`), with the same exact-reconciliation
+//! gates plus zero-drop/zero-corruption reply validation and a
+//! `bench_gate`-consumable p50/p95/p99 + throughput snapshot.
 
+pub mod loadtest;
 pub mod scenario;
 pub mod score;
 pub mod trace;
 
+pub use loadtest::{policy_token, run_load, LoadError, LoadReport, LoadTenantScore};
 pub use scenario::{ArrivalPattern, PolicyFamily, Scenario, SpecChoice};
 pub use score::{
     run, score, SimReport, SimTiming, TenantScore, UTILITY_FACTOR, UTILITY_MIN_SAMPLES,

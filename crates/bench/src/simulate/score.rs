@@ -89,18 +89,50 @@ pub struct TenantScore {
     pub expected_mse: Option<f64>,
 }
 
-/// Wall-clock measurements of the replay (never part of deterministic
-/// scoring).
+/// Wall-clock measurements of a replay or load-test run (never part of
+/// deterministic scoring): sustained throughput plus the latency tail.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SimTiming {
-    /// Total replay wall time.
+    /// Total run wall time.
     pub wall_ns: u64,
-    /// Requests served per second.
+    /// Requests served per second, sustained over the whole run.
     pub requests_per_sec: f64,
-    /// Mean per-request serving latency.
+    /// Inverse throughput (`wall_ns / requests`): the form `bench_gate`
+    /// can bound, since the gate only fails on *increases* and a
+    /// throughput regression is an `ns_per_request` increase.
+    pub ns_per_request: f64,
+    /// Mean per-request latency.
     pub mean_latency_ns: f64,
-    /// 99th-percentile per-request serving latency.
+    /// Median per-request latency.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile per-request latency.
+    pub p95_latency_ns: u64,
+    /// 99th-percentile per-request latency.
     pub p99_latency_ns: u64,
+}
+
+impl SimTiming {
+    /// Builds the timing section from a run's wall time and raw
+    /// per-request latencies (sorted in place). Used by both the serial
+    /// replay scorer and the TCP load-test harness, so every timing
+    /// report carries the same p50/p95/p99 + throughput shape.
+    pub fn from_latencies(wall_ns: u64, latencies: &mut [u64]) -> SimTiming {
+        latencies.sort_unstable();
+        let requests = latencies.len();
+        SimTiming {
+            wall_ns,
+            requests_per_sec: if wall_ns > 0 {
+                requests as f64 / (wall_ns as f64 / 1e9)
+            } else {
+                0.0
+            },
+            ns_per_request: wall_ns as f64 / requests.max(1) as f64,
+            mean_latency_ns: latencies.iter().sum::<u64>() as f64 / requests.max(1) as f64,
+            p50_latency_ns: percentile(latencies, 0.50),
+            p95_latency_ns: percentile(latencies, 0.95),
+            p99_latency_ns: percentile(latencies, 0.99),
+        }
+    }
 }
 
 /// The machine-readable outcome of one scenario run. Serialized with
@@ -199,7 +231,16 @@ impl SimReport {
                 JsonValue::Obj(vec![
                     ("wall_ns".into(), count(self.timing.wall_ns as usize)),
                     ("requests_per_sec".into(), num(self.timing.requests_per_sec)),
+                    ("ns_per_request".into(), num(self.timing.ns_per_request)),
                     ("mean_latency_ns".into(), num(self.timing.mean_latency_ns)),
+                    (
+                        "p50_latency_ns".into(),
+                        count(self.timing.p50_latency_ns as usize),
+                    ),
+                    (
+                        "p95_latency_ns".into(),
+                        count(self.timing.p95_latency_ns as usize),
+                    ),
                     (
                         "p99_latency_ns".into(),
                         count(self.timing.p99_latency_ns as usize),
@@ -495,17 +536,7 @@ pub fn score(scenario: &Scenario, trace: &Trace) -> Result<SimReport, BenchError
     }
 
     let mut latencies: Vec<u64> = replayed.iter().map(|r| r.latency_ns).collect();
-    latencies.sort_unstable();
-    let timing = SimTiming {
-        wall_ns,
-        requests_per_sec: if wall_ns > 0 {
-            trace.requests.len() as f64 / (wall_ns as f64 / 1e9)
-        } else {
-            0.0
-        },
-        mean_latency_ns: latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64,
-        p99_latency_ns: percentile(&latencies, 0.99),
-    };
+    let timing = SimTiming::from_latencies(wall_ns, &mut latencies);
 
     Ok(SimReport {
         schema: "blowfish-simulate/v1".to_string(),

@@ -93,6 +93,7 @@
 //! assert!(service.handle(&fit(3, "c")).unwrap_err().is_budget_exhausted());
 //! ```
 
+pub mod net;
 pub mod parallel;
 pub mod plan;
 pub mod service;
@@ -100,12 +101,13 @@ pub mod session;
 pub mod spec;
 pub mod wire;
 
+pub use net::{NetConfig, NetStats, TcpServer};
 pub use parallel::{fit_cells, fit_cells_serial, parallel_map, FitCell};
 pub use plan::{PlanCache, PlanStats};
 pub use service::{Replayed, Request, Response, Service, TenantConfig, TenantStats};
 pub use session::{Fitted, Plan, Policy, Session};
 pub use spec::{MechanismSpec, Task};
-pub use wire::{handle_line, WireReply};
+pub use wire::{handle_line, Codec, WireError, WireReply, PROTOCOL_VERSION};
 
 use blowfish_core::CoreError;
 use blowfish_mechanisms::MechanismError;

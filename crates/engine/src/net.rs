@@ -1,0 +1,447 @@
+//! TCP serving for the [`wire`](crate::wire) protocol: a bounded
+//! thread-per-connection socket server multiplexing many concurrent
+//! clients into one shared [`Service`].
+//!
+//! [`TcpServer::bind`] takes an address plus a [`NetConfig`] and returns
+//! a running server: an accept thread hands each connection to its own
+//! worker thread (cheap for this protocol — connections are mostly
+//! parked in blocking reads, and the engine's lock-striped plan cache
+//! and per-tenant ledgers do the real sharing). Every connection gets
+//! its own [`Codec`], so `use`-style default-tenant state is
+//! connection-scoped, exactly like a stdin session.
+//!
+//! Overload and lifecycle behavior, all tested over loopback:
+//!
+//! * **Backpressure** — at most [`NetConfig::max_connections`] live
+//!   connections; beyond that, new clients get one
+//!   `err server-busy …` line and an immediate close (an explicit shed,
+//!   counted in [`NetStats::shed`], rather than an unbounded queue).
+//! * **Line cap** — a request line longer than [`MAX_LINE_BYTES`] gets
+//!   `err line-too-long …` and a close: one client cannot grow an
+//!   unbounded buffer server-side.
+//! * **Idle timeout** — a connection silent for
+//!   [`NetConfig::idle_timeout`] is closed so abandoned clients cannot
+//!   pin worker slots forever.
+//! * **Graceful shutdown** — [`TcpServer::shutdown`] stops accepting,
+//!   then waits (bounded) for in-flight connections to drain; workers
+//!   observe the flag at their next read-timeout tick.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::service::Service;
+use crate::wire::{Codec, WireReply};
+
+/// Hard cap on one request line. The longest legitimate lines are
+/// `tenant … data=v,v,…` uploads (a 4096-cell domain at ~20 bytes per
+/// value is ~80 KiB), so the cap is sized above that, not above typical
+/// traffic.
+pub const MAX_LINE_BYTES: usize = 256 * 1024;
+
+/// How often a parked connection wakes to check idle time and the
+/// shutdown flag (the read timeout on every worker socket).
+const TICK: Duration = Duration::from_millis(200);
+
+/// Pacing of the accept loop when polling a nonblocking listener.
+const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+
+/// Tuning for a [`TcpServer`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Live-connection cap; connection attempts beyond it are shed with
+    /// `err server-busy`.
+    pub max_connections: usize,
+    /// Close a connection after this much silence.
+    pub idle_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            max_connections: 1024,
+            idle_timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Monotonic counters describing a server's lifetime traffic, shared
+/// with every worker thread.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted into a worker (including ones since closed).
+    pub accepted: AtomicU64,
+    /// Connections shed with `err server-busy` at the cap.
+    pub shed: AtomicU64,
+    /// Connections closed for exceeding the idle timeout.
+    pub idle_closed: AtomicU64,
+    /// Request lines served (one reply written per count).
+    pub requests: AtomicU64,
+    /// Currently open connections.
+    pub live: AtomicUsize,
+}
+
+/// A running TCP front end over a shared [`Service`]. Dropping the
+/// handle shuts the server down.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:7741`, or port `0` for an ephemeral
+    /// port) and starts accepting. The returned handle reports the
+    /// concrete [`local_addr`](TcpServer::local_addr) and serves until
+    /// [`shutdown`](TcpServer::shutdown) or drop.
+    pub fn bind(
+        service: Arc<Service>,
+        addr: &str,
+        config: NetConfig,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Nonblocking accept + sleep lets the accept thread observe the
+        // stop flag promptly without platform-specific wakeup plumbing.
+        listener.set_nonblocking(true)?;
+        let stats = Arc::new(NetStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let (service, stats, stop) = (service, Arc::clone(&stats), Arc::clone(&stop));
+            std::thread::Builder::new()
+                .name("blowfish-accept".to_string())
+                .spawn(move || accept_loop(listener, service, config, stats, stop))?
+        };
+        Ok(TcpServer {
+            addr,
+            stats,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's shared traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Stops accepting and waits up to `drain` for live connections to
+    /// finish; returns `true` if the server drained fully. Workers see
+    /// the flag within one read-timeout tick.
+    pub fn shutdown(&mut self, drain: Duration) -> bool {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let deadline = Instant::now() + drain;
+        while self.stats.live.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(TICK / 4);
+        }
+        true
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown(Duration::from_secs(2));
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: NetConfig,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_IDLE);
+                continue;
+            }
+            // Transient accept errors (per-connection resets, fd
+            // pressure): back off briefly rather than killing serving.
+            Err(_) => {
+                std::thread::sleep(ACCEPT_IDLE * 10);
+                continue;
+            }
+        };
+        if stats.live.load(Ordering::SeqCst) >= config.max_connections {
+            shed(stream, &stats);
+            continue;
+        }
+        stats.live.fetch_add(1, Ordering::SeqCst);
+        stats.accepted.fetch_add(1, Ordering::SeqCst);
+        let (service, stats_w, stop_w) =
+            (Arc::clone(&service), Arc::clone(&stats), Arc::clone(&stop));
+        let idle_timeout = config.idle_timeout;
+        let spawned = std::thread::Builder::new()
+            .name("blowfish-conn".to_string())
+            // Workers parse lines and call into the engine — no deep
+            // recursion — so a small stack keeps 1000+ threads cheap.
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                let _ = serve_connection(stream, &service, idle_timeout, &stats_w, &stop_w);
+                stats_w.live.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource exhaustion): undo the
+            // accounting; the stream drops closed.
+            stats.live.fetch_sub(1, Ordering::SeqCst);
+            stats.accepted.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Over-cap connection: one explanatory line, then close.
+fn shed(mut stream: TcpStream, stats: &NetStats) {
+    stats.shed.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.write_all(b"err server-busy (connection limit reached, retry later)\n");
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Drives one connection: banner, then a decode→dispatch→encode loop
+/// with manual line framing, until quit/EOF/idle-timeout/shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    service: &Service,
+    idle_timeout: Duration,
+    stats: &NetStats,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    // One request line in, one reply line out: flushing per reply
+    // matters more than batching, so disable Nagle.
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(TICK))?;
+    stream.write_all(Codec::banner().as_bytes())?;
+    stream.write_all(b"\n")?;
+
+    let mut codec = Codec::new();
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 4096];
+    let mut idle = Duration::ZERO;
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]);
+            match codec.serve(service, line.trim_end_matches('\r')) {
+                WireReply::Reply(reply) => {
+                    stats.requests.fetch_add(1, Ordering::SeqCst);
+                    stream.write_all(reply.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                }
+                WireReply::Silent => {}
+                WireReply::Quit => {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Ok(());
+                }
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let _ = stream.write_all(b"err line-too-long (request line limit exceeded)\n");
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Ok(());
+        }
+        if stop.load(Ordering::SeqCst) {
+            let _ = stream.write_all(b"err server-shutdown (connection closing)\n");
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Ok(());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(n) => {
+                idle = Duration::ZERO;
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                idle += TICK;
+                if idle >= idle_timeout {
+                    stats.idle_closed.fetch_add(1, Ordering::SeqCst);
+                    let _ = stream.write_all(b"err idle-timeout (connection closing)\n");
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn server(config: NetConfig) -> TcpServer {
+        TcpServer::bind(Arc::new(Service::new()), "127.0.0.1:0", config).unwrap()
+    }
+
+    /// Connect and consume the banner.
+    fn client(addr: SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut banner = String::new();
+        reader.read_line(&mut banner).unwrap();
+        assert!(banner.starts_with("ok blowfish/1 "), "{banner}");
+        (reader, stream)
+    }
+
+    fn roundtrip(reader: &mut BufReader<TcpStream>, stream: &mut TcpStream, line: &str) -> String {
+        writeln!(stream, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+
+    #[test]
+    fn serves_a_full_session_over_tcp() {
+        let mut server = server(NetConfig::default());
+        let (mut reader, mut stream) = client(server.local_addr());
+        assert_eq!(
+            roundtrip(
+                &mut reader,
+                &mut stream,
+                "tenant acme policy=line:16 eps=0.5 budget=1.0 data=uniform:3",
+            ),
+            "ok tenant acme policy=G^1_16 cells=16"
+        );
+        assert_eq!(
+            roundtrip(&mut reader, &mut stream, "hello blowfish/1"),
+            "ok hello blowfish/1"
+        );
+        // Connection-scoped default tenant works over the socket.
+        assert_eq!(
+            roundtrip(&mut reader, &mut stream, "use acme"),
+            "ok use acme"
+        );
+        let fit = roundtrip(&mut reader, &mut stream, "fit as=r1 seed=7");
+        assert_eq!(fit, "ok fit r1 charged=0.5 spent=0.5 remaining=0.5");
+        let answer = roundtrip(&mut reader, &mut stream, "answer from=r1 0..15");
+        assert!(answer.starts_with("ok answer 1 "), "{answer}");
+        // quit closes the connection (EOF on the reader).
+        writeln!(stream, "quit").unwrap();
+        let mut rest = String::new();
+        reader.read_line(&mut rest).unwrap();
+        assert_eq!(rest, "");
+        assert!(server.shutdown(Duration::from_secs(5)));
+        assert_eq!(server.stats().requests.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn default_tenant_state_is_per_connection() {
+        let mut server = server(NetConfig::default());
+        let (mut r1, mut s1) = client(server.local_addr());
+        let (mut r2, mut s2) = client(server.local_addr());
+        roundtrip(
+            &mut r1,
+            &mut s1,
+            "tenant acme policy=line:8 eps=0.5 budget=4 data=uniform:1",
+        );
+        assert_eq!(roundtrip(&mut r1, &mut s1, "use acme"), "ok use acme");
+        let ok = roundtrip(&mut r1, &mut s1, "fit as=a seed=1");
+        assert!(ok.starts_with("ok fit a "), "{ok}");
+        // The second connection shares the service but not the default.
+        let err = roundtrip(&mut r2, &mut s2, "fit as=b seed=2");
+        assert!(err.starts_with("err bad request"), "{err}");
+        let ok2 = roundtrip(&mut r2, &mut s2, "fit acme as=b seed=2");
+        assert!(ok2.starts_with("ok fit b "), "{ok2}");
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn connections_beyond_the_cap_are_shed() {
+        let mut server = server(NetConfig {
+            max_connections: 2,
+            ..NetConfig::default()
+        });
+        let keep1 = client(server.local_addr());
+        let keep2 = client(server.local_addr());
+        // The third connection gets the busy line, not a banner.
+        let extra = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(extra);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err server-busy"), "{line}");
+        // …and then EOF.
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "");
+        assert_eq!(server.stats().shed.load(Ordering::SeqCst), 1);
+        // Freeing a slot re-opens admission.
+        drop(keep1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let again = TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(again);
+            let mut banner = String::new();
+            reader.read_line(&mut banner).unwrap();
+            if banner.starts_with("ok blowfish/1") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "slot never freed; last reply {banner}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        drop(keep2);
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn oversized_lines_close_the_connection() {
+        let mut server = server(NetConfig::default());
+        let (mut reader, mut stream) = client(server.local_addr());
+        let huge = vec![b'x'; MAX_LINE_BYTES + 4096];
+        stream.write_all(&huge).unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.starts_with("err line-too-long"), "{reply}");
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn idle_connections_time_out() {
+        let mut server = server(NetConfig {
+            idle_timeout: Duration::from_millis(300),
+            ..NetConfig::default()
+        });
+        let (mut reader, _stream) = client(server.local_addr());
+        let started = Instant::now();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err idle-timeout"), "{line}");
+        assert!(started.elapsed() >= Duration::from_millis(250));
+        assert_eq!(server.stats().idle_closed.load(Ordering::SeqCst), 1);
+        assert!(server.shutdown(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn shutdown_notifies_parked_connections() {
+        let mut server = server(NetConfig::default());
+        let (mut reader, _stream) = client(server.local_addr());
+        assert!(server.shutdown(Duration::from_secs(5)));
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err server-shutdown"), "{line}");
+        // New connections are refused once the listener is gone.
+        assert!(TcpStream::connect(server.local_addr()).is_err());
+    }
+}

@@ -1,11 +1,18 @@
-//! Newline-delimited text codec for the [`Service`] request protocol —
-//! what the `blowfish-serve` bin speaks over stdin/stdout.
+//! The versioned, connection-oriented wire API for the [`Service`]
+//! request protocol — what `blowfish-serve` speaks over stdin/stdout and
+//! (through [`crate::net`]) over TCP.
 //!
-//! One request per line, one response line per request (`ok …` or
-//! `err …`); blank lines and `#` comments are ignored. Commands:
+//! The protocol is newline-delimited text, version `blowfish/1`
+//! ([`PROTOCOL_VERSION`]): one request per line, one response line per
+//! request (`ok …` or `err …`); blank lines and `#` comments are
+//! ignored. A server greets every connection with the [`Codec::banner`]
+//! line, and a client may (but need not) negotiate explicitly with
+//! `hello blowfish/1`. Commands:
 //!
 //! ```text
+//! hello [blowfish/1]
 //! tenant <id> policy=<p> eps=<ε> budget=<ε> data=<v,v,…|uniform:<v>>
+//! use <id>
 //! plan <id> task=<hist|range1d|range2d>
 //! fit <id> as=<handle> seed=<n> [mech=<registry-id>] [task=<t>]
 //! answer <id> from=<handle> <lo>..<hi> [<lo>..<hi>x<lo>..<hi> …]
@@ -14,20 +21,237 @@
 //! quit
 //! ```
 //!
+//! `use <id>` sets the connection's **default tenant** — connection-scoped
+//! state held by the [`Codec`] — after which `plan`/`fit`/`answer` may
+//! omit the leading tenant id. Unknown commands are rejected with a
+//! structured `err unknown-command <verb> (accepted: …)` reply listing
+//! the accepted verbs; an unsupported `hello` version gets
+//! `err unsupported-version …`.
+//!
 //! Policies: `line:<k>`, `theta-line:<k>:<θ>`, `grid:<k>` (k×k, θ=1),
 //! `theta-grid:<k>:<θ>`, `star:<k>`, `complete:<k>`. Mechanism ids are
 //! the [`MechanismSpec::id`] registry ids (e.g. `dp-laplace`,
 //! `theta-line-4-laplace`). Range queries give inclusive per-dimension
 //! bounds `lo..hi`, dimensions joined with `x` (`2..9` is 1-D,
 //! `0..3x1..4` is 2-D).
+//!
+//! ## The typed codec
+//!
+//! [`Codec`] is the typed face of the protocol: [`Codec::decode`] parses
+//! one line into a [`Request`] (never panicking — every malformed input
+//! is a typed [`WireError`]), [`serve_request`] dispatches a typed
+//! request against a [`Service`], and [`Codec::encode`] /
+//! [`Codec::encode_request`] render responses and requests back to
+//! protocol lines (so the same codec drives both servers and clients;
+//! `decode(encode_request(r))` round-trips). [`Codec::serve`] composes
+//! the three for one input line, and the legacy [`handle_line`] is a
+//! thin wrapper over a fresh stateless codec.
 
 use blowfish_core::{DataVector, Domain, Epsilon, PolicyGraph, RangeQuery};
 
-use crate::service::{Request, Response, Service, TenantConfig};
+use crate::service::{self, Service, TenantConfig};
 use crate::spec::{MechanismSpec, Task};
 use crate::EngineError;
 
-/// Outcome of feeding one input line to [`handle_line`].
+/// The protocol version this codec speaks, as greeted in the banner and
+/// negotiated by `hello`.
+pub const PROTOCOL_VERSION: &str = "blowfish/1";
+
+/// Every verb the protocol accepts, as reported by `err unknown-command`
+/// and `help`.
+pub const VERBS: &[&str] = &[
+    "hello", "tenant", "use", "plan", "fit", "answer", "stats", "help", "quit",
+];
+
+/// A typed, decoded protocol request — what [`Codec::decode`] produces
+/// and [`serve_request`] consumes.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// `hello [version]` — explicit protocol negotiation.
+    Hello {
+        /// The version the client asked for; `None` accepts the
+        /// server's.
+        version: Option<String>,
+    },
+    /// `help`.
+    Help,
+    /// `quit` — close the connection.
+    Quit,
+    /// `use <id>` — set the connection's default tenant.
+    Use {
+        /// Tenant subsequent commands may omit.
+        tenant: String,
+    },
+    /// `tenant <id> …` — onboard a tenant.
+    Tenant {
+        /// The parsed onboarding config (boxed: a config carries a whole
+        /// policy graph + data vector, far larger than any other
+        /// variant).
+        config: Box<TenantConfig>,
+        /// The policy spec token as written on the wire (kept so
+        /// [`Codec::encode_request`] can render the request back).
+        policy_token: String,
+    },
+    /// `plan <id> task=<t>`.
+    Plan {
+        /// Target tenant.
+        tenant: String,
+        /// Workload class to plan for.
+        task: Task,
+    },
+    /// `fit <id> as=<handle> seed=<n> …`.
+    Fit {
+        /// Target tenant.
+        tenant: String,
+        /// Explicit mechanism (`mech=`), or `None` for the planner
+        /// default.
+        spec: Option<MechanismSpec>,
+        /// Planner task used when `spec` is `None`.
+        task: Task,
+        /// Seed of the fit's private RNG (mandatory on the wire).
+        seed: u64,
+        /// Handle the estimate is stored under.
+        handle: String,
+    },
+    /// `answer <id> from=<handle> <ranges…>`. Ranges are *raw* — bounds
+    /// are validated against the tenant's domain at serve time, so
+    /// decoding stays a pure function of the line.
+    Answer {
+        /// Target tenant.
+        tenant: String,
+        /// Handle of a previously fitted estimate.
+        handle: String,
+        /// The unvalidated per-dimension bounds, in request order.
+        ranges: Vec<RawRange>,
+    },
+    /// `stats [<id>]`.
+    Stats {
+        /// Restrict to one tenant; `None` reports every tenant.
+        tenant: Option<String>,
+    },
+}
+
+/// One unvalidated range query as written on the wire: inclusive
+/// per-dimension bounds, not yet checked against any domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawRange {
+    /// Lower bound per dimension.
+    pub lo: Vec<usize>,
+    /// Upper bound per dimension (inclusive).
+    pub hi: Vec<usize>,
+}
+
+impl RawRange {
+    /// Validates the raw bounds against a concrete domain.
+    pub fn into_query(self, domain: &Domain) -> Result<RangeQuery, EngineError> {
+        Ok(RangeQuery::new(domain, self.lo, self.hi)?)
+    }
+}
+
+/// A typed protocol response — what [`serve_request`] produces and
+/// [`Codec::encode`] renders to one `ok …` line.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Negotiation accepted (`ok hello blowfish/1`).
+    Hello,
+    /// The help line, including the protocol version.
+    Help,
+    /// `quit` acknowledged (connection drivers close instead of
+    /// replying; see [`WireReply::Quit`]).
+    Goodbye,
+    /// The connection's default tenant was set.
+    Using {
+        /// The tenant now implied by id-less commands.
+        tenant: String,
+    },
+    /// A tenant was onboarded.
+    TenantAdded {
+        /// Tenant id.
+        id: String,
+        /// Recognized policy family name.
+        policy: String,
+        /// Domain size of the tenant's data.
+        cells: usize,
+    },
+    /// Any engine-level response (plan/fit/answer/stats).
+    Engine(service::Response),
+}
+
+/// Typed failure of decoding or serving one protocol line. Rendered to
+/// an `err …` reply by [`Codec::encode_error`]; never a panic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// The verb is not part of the protocol.
+    UnknownCommand {
+        /// The rejected verb.
+        command: String,
+    },
+    /// `hello` asked for a version this server does not speak.
+    UnsupportedVersion {
+        /// The version the client requested.
+        requested: String,
+    },
+    /// A syntactically malformed request line.
+    BadRequest {
+        /// What was malformed.
+        what: String,
+    },
+    /// The request decoded but the engine rejected it.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownCommand { command } => {
+                write!(
+                    f,
+                    "unknown-command {command} (accepted: {})",
+                    VERBS.join("|")
+                )
+            }
+            WireError::UnsupportedVersion { requested } => {
+                write!(
+                    f,
+                    "unsupported-version {requested} (this server speaks {PROTOCOL_VERSION})"
+                )
+            }
+            WireError::BadRequest { what } => write!(f, "bad request: {what}"),
+            WireError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for WireError {
+    fn from(e: EngineError) -> Self {
+        WireError::Engine(e)
+    }
+}
+
+impl From<blowfish_core::CoreError> for WireError {
+    fn from(e: blowfish_core::CoreError) -> Self {
+        WireError::Engine(EngineError::Core(e))
+    }
+}
+
+impl WireError {
+    /// Whether this is the typed budget-exhaustion rejection.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, WireError::Engine(e) if e.is_budget_exhausted())
+    }
+}
+
+/// Outcome of feeding one input line to [`Codec::serve`] /
+/// [`handle_line`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum WireReply {
     /// A response line to write back (`ok …` or `err …`).
@@ -38,160 +262,454 @@ pub enum WireReply {
     Quit,
 }
 
-/// Parses and serves one protocol line against a service, formatting the
-/// outcome as a response line. Never panics on malformed input — every
-/// parse failure becomes an `err …` reply.
-pub fn handle_line(service: &Service, line: &str) -> WireReply {
-    let line = line.trim();
-    if line.is_empty() || line.starts_with('#') {
-        return WireReply::Silent;
-    }
-    if line == "quit" {
-        return WireReply::Quit;
-    }
-    match serve_line(service, line) {
-        Ok(reply) => WireReply::Reply(reply),
-        Err(e) => WireReply::Reply(format!("err {e}")),
-    }
+/// The protocol codec plus one connection's protocol state (currently
+/// the `use` default tenant). Servers hold one codec per connection;
+/// clients use the stateless [`Codec::encode_request`] /
+/// [`Codec::decode`] halves directly.
+#[derive(Clone, Debug, Default)]
+pub struct Codec {
+    default_tenant: Option<String>,
 }
 
-fn serve_line(service: &Service, line: &str) -> Result<String, EngineError> {
-    let mut tokens = line.split_whitespace();
-    let command = tokens.next().expect("non-empty line");
-    let rest: Vec<&str> = tokens.collect();
-    match command {
-        "help" => Ok(format!("ok help {}", HELP)),
-        "tenant" => {
-            let config = parse_tenant(&rest)?;
-            let id = config.id.clone();
-            let policy = config.graph.name().to_string();
-            let cells = config.data.domain().size();
-            service.add_tenant(config)?;
-            Ok(format!("ok tenant {id} policy={policy} cells={cells}"))
+impl Codec {
+    /// A fresh codec with no connection state.
+    pub fn new() -> Codec {
+        Codec::default()
+    }
+
+    /// The greeting line a server writes as the first line of every
+    /// connection, leading with the protocol version.
+    pub fn banner() -> String {
+        format!("ok {PROTOCOL_VERSION} ready (newline-delimited requests; `help` lists commands)")
+    }
+
+    /// The connection's current default tenant (set by `use`).
+    pub fn default_tenant(&self) -> Option<&str> {
+        self.default_tenant.as_deref()
+    }
+
+    /// Parses one protocol line into a typed [`Request`]. `Ok(None)`
+    /// means the line was blank or a comment (write nothing). Never
+    /// panics — every malformed input is a typed [`WireError`].
+    pub fn decode(&self, line: &str) -> Result<Option<Request>, WireError> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
         }
-        "plan" => {
-            let (id, args) = split_id(&rest, "plan")?;
-            let task = parse_task(arg(&args, "task").unwrap_or("hist"))?;
-            let response = service.handle(&Request::Plan {
-                tenant: id.to_string(),
-                task,
-            })?;
-            format_response(&response)
+        let mut tokens = line.split_whitespace();
+        let command = tokens.next().expect("non-empty line");
+        let rest: Vec<&str> = tokens.collect();
+        let request = match command {
+            "hello" => Request::Hello {
+                version: rest.first().map(|v| v.to_string()),
+            },
+            "help" => Request::Help,
+            "quit" => Request::Quit,
+            "use" => match rest.as_slice() {
+                [tenant] if !tenant.contains('=') => Request::Use {
+                    tenant: tenant.to_string(),
+                },
+                _ => return Err(bad("use needs exactly one tenant id")),
+            },
+            "tenant" => self.decode_tenant(&rest)?,
+            "plan" => {
+                let (tenant, args) = self.tenant_and_args(&rest, "plan")?;
+                Request::Plan {
+                    tenant,
+                    task: parse_task(arg(&args, "task").unwrap_or("hist"))?,
+                }
+            }
+            "fit" => {
+                let (tenant, args) = self.tenant_and_args(&rest, "fit")?;
+                let handle = arg(&args, "as")
+                    .ok_or_else(|| bad_err("fit needs as=<handle>"))?
+                    .to_string();
+                let spec = match arg(&args, "mech") {
+                    Some(mech) => Some(
+                        MechanismSpec::parse(mech)
+                            .ok_or_else(|| bad_err(&format!("unknown mechanism id {mech}")))?,
+                    ),
+                    None => None,
+                };
+                let task = parse_task(arg(&args, "task").unwrap_or("hist"))?;
+                // Seeds are mandatory, never defaulted: a fixed implicit
+                // seed would make every unseeded release reuse one noise
+                // stream — duplicate releases that still burn budget, and
+                // fully predictable noise. The caller owns seed policy
+                // (fresh entropy in production, fixed seeds for
+                // reproducibility).
+                let seed_token = arg(&args, "seed").ok_or_else(|| bad_err("fit needs seed=<n>"))?;
+                let seed = seed_token
+                    .parse()
+                    .map_err(|_| bad_err(&format!("bad seed {seed_token}")))?;
+                Request::Fit {
+                    tenant,
+                    spec,
+                    task,
+                    seed,
+                    handle,
+                }
+            }
+            "answer" => {
+                let (tenant, args) = self.tenant_and_args(&rest, "answer")?;
+                let handle = arg(&args, "from")
+                    .ok_or_else(|| bad_err("answer needs from=<handle>"))?
+                    .to_string();
+                let ranges = args
+                    .iter()
+                    .filter(|t| !t.contains('='))
+                    .map(|t| parse_raw_range(t))
+                    .collect::<Result<Vec<RawRange>, WireError>>()?;
+                if ranges.is_empty() {
+                    return Err(bad("answer needs at least one <lo>..<hi> range"));
+                }
+                Request::Answer {
+                    tenant,
+                    handle,
+                    ranges,
+                }
+            }
+            "stats" => Request::Stats {
+                tenant: rest.first().map(|s| s.to_string()),
+            },
+            other => {
+                return Err(WireError::UnknownCommand {
+                    command: other.to_string(),
+                })
+            }
+        };
+        Ok(Some(request))
+    }
+
+    /// Renders a typed response as one `ok …` protocol line.
+    pub fn encode(response: &Response) -> String {
+        match response {
+            Response::Hello => format!("ok hello {PROTOCOL_VERSION}"),
+            Response::Help => format!(
+                "ok help {PROTOCOL_VERSION} commands: {} \
+                 (see the blowfish-engine wire module docs for syntax)",
+                VERBS.join("|")
+            ),
+            Response::Goodbye => "ok bye".to_string(),
+            Response::Using { tenant } => format!("ok use {tenant}"),
+            Response::TenantAdded { id, policy, cells } => {
+                format!("ok tenant {id} policy={policy} cells={cells}")
+            }
+            Response::Engine(response) => match response {
+                service::Response::Planned { spec } => format!("ok plan {}", spec.id()),
+                service::Response::Fitted {
+                    handle,
+                    charged,
+                    spent,
+                    remaining,
+                } => {
+                    format!("ok fit {handle} charged={charged} spent={spent} remaining={remaining}")
+                }
+                service::Response::Answers { values } => {
+                    let mut out = format!("ok answer {}", values.len());
+                    for v in values {
+                        out.push(' ');
+                        out.push_str(&format!("{v}"));
+                    }
+                    out
+                }
+                service::Response::Stats {
+                    tenants,
+                    artifact_builds,
+                } => {
+                    let mut out = format!(
+                        "ok stats builds={artifact_builds} tenants={}",
+                        tenants.len()
+                    );
+                    for t in tenants {
+                        out.push_str(&format!(
+                            " | {} spent={} remaining={} fits={} estimates={}",
+                            t.id, t.spent, t.remaining, t.fits, t.estimates
+                        ));
+                    }
+                    out
+                }
+            },
         }
-        "fit" => {
-            let (id, args) = split_id(&rest, "fit")?;
-            let handle = arg(&args, "as")
-                .ok_or_else(|| bad("fit needs as=<handle>"))?
-                .to_string();
-            let spec = match arg(&args, "mech") {
-                Some(mech) => Some(
-                    MechanismSpec::parse(mech)
-                        .ok_or_else(|| bad(&format!("unknown mechanism id {mech}")))?,
-                ),
-                None => None,
-            };
-            let task = parse_task(arg(&args, "task").unwrap_or("hist"))?;
-            // Seeds are mandatory, never defaulted: a fixed implicit seed
-            // would make every unseeded release reuse one noise stream —
-            // duplicate releases that still burn budget, and fully
-            // predictable noise. The caller owns seed policy (fresh
-            // entropy in production, fixed seeds for reproducibility).
-            let seed_token = arg(&args, "seed").ok_or_else(|| bad("fit needs seed=<n>"))?;
-            let seed = seed_token
-                .parse()
-                .map_err(|_| bad(&format!("bad seed {seed_token}")))?;
-            let response = service.handle(&Request::Fit {
-                tenant: id.to_string(),
+    }
+
+    /// Renders a typed error as one `err …` protocol line.
+    pub fn encode_error(error: &WireError) -> String {
+        format!("err {error}")
+    }
+
+    /// Renders a typed request back to its canonical protocol line (the
+    /// client half of the codec; `decode` round-trips it).
+    pub fn encode_request(request: &Request) -> String {
+        match request {
+            Request::Hello { version } => match version {
+                Some(v) => format!("hello {v}"),
+                None => "hello".to_string(),
+            },
+            Request::Help => "help".to_string(),
+            Request::Quit => "quit".to_string(),
+            Request::Use { tenant } => format!("use {tenant}"),
+            Request::Tenant {
+                config,
+                policy_token,
+            } => {
+                let data = config
+                    .data
+                    .counts()
+                    .iter()
+                    .map(|v| format!("{v}"))
+                    .collect::<Vec<String>>()
+                    .join(",");
+                format!(
+                    "tenant {} policy={policy_token} eps={} budget={} data={data}",
+                    config.id,
+                    config.eps.value(),
+                    config.budget.value()
+                )
+            }
+            Request::Plan { tenant, task } => {
+                format!("plan {tenant} task={}", task_token(*task))
+            }
+            Request::Fit {
+                tenant,
                 spec,
                 task,
                 seed,
                 handle,
-            })?;
-            format_response(&response)
-        }
-        "answer" => {
-            let (id, args) = split_id(&rest, "answer")?;
-            let handle = arg(&args, "from")
-                .ok_or_else(|| bad("answer needs from=<handle>"))?
-                .to_string();
-            let domain = service.tenant_domain(id)?;
-            let queries = args
-                .iter()
-                .filter(|t| !t.contains('='))
-                .map(|t| parse_range(&domain, t))
-                .collect::<Result<Vec<RangeQuery>, EngineError>>()?;
-            if queries.is_empty() {
-                return Err(bad("answer needs at least one <lo>..<hi> range"));
+            } => {
+                let mut out = format!(
+                    "fit {tenant} as={handle} seed={seed} task={}",
+                    task_token(*task)
+                );
+                if let Some(spec) = spec {
+                    out.push_str(&format!(" mech={}", spec.id()));
+                }
+                out
             }
-            let response = service.handle(&Request::Answer {
-                tenant: id.to_string(),
+            Request::Answer {
+                tenant,
                 handle,
-                queries,
-            })?;
-            format_response(&response)
+                ranges,
+            } => {
+                let mut out = format!("answer {tenant} from={handle}");
+                for r in ranges {
+                    out.push(' ');
+                    let dims: Vec<String> =
+                        r.lo.iter()
+                            .zip(&r.hi)
+                            .map(|(lo, hi)| format!("{lo}..{hi}"))
+                            .collect();
+                    out.push_str(&dims.join("x"));
+                }
+                out
+            }
+            Request::Stats { tenant } => match tenant {
+                Some(t) => format!("stats {t}"),
+                None => "stats".to_string(),
+            },
         }
-        "stats" => {
-            let response = service.handle(&Request::Stats {
-                tenant: rest.first().map(|s| s.to_string()),
-            })?;
-            format_response(&response)
+    }
+
+    /// Decodes, dispatches, and encodes one input line against a
+    /// service: the full per-line pipeline a connection driver runs.
+    /// Updates the connection's default tenant on a successful `use`.
+    pub fn serve(&mut self, service: &Service, line: &str) -> WireReply {
+        match self.decode(line) {
+            Ok(None) => WireReply::Silent,
+            Ok(Some(Request::Quit)) => WireReply::Quit,
+            Ok(Some(request)) => match serve_request(service, &request) {
+                Ok(response) => {
+                    if let Request::Use { tenant } = &request {
+                        self.default_tenant = Some(tenant.clone());
+                    }
+                    WireReply::Reply(Codec::encode(&response))
+                }
+                Err(e) => WireReply::Reply(Codec::encode_error(&e)),
+            },
+            Err(e) => WireReply::Reply(Codec::encode_error(&e)),
         }
-        other => Err(bad(&format!("unknown command {other}"))),
+    }
+
+    /// First positional token is the tenant id; with none (or only
+    /// `key=value` arguments), the connection's `use` default applies.
+    fn tenant_and_args<'a>(
+        &self,
+        rest: &[&'a str],
+        command: &str,
+    ) -> Result<(String, Vec<&'a str>), WireError> {
+        match rest.split_first() {
+            Some((id, args)) if !id.contains('=') => Ok((id.to_string(), args.to_vec())),
+            _ => match &self.default_tenant {
+                Some(tenant) => Ok((tenant.clone(), rest.to_vec())),
+                None => Err(bad(&format!(
+                    "{command} needs a tenant id (or `use <tenant>` first)"
+                ))),
+            },
+        }
+    }
+
+    fn decode_tenant(&self, rest: &[&str]) -> Result<Request, WireError> {
+        let (id, args) = self.tenant_and_args(rest, "tenant")?;
+        let policy_token = arg(&args, "policy")
+            .ok_or_else(|| bad_err("tenant needs policy=<spec>"))?
+            .to_string();
+        let graph = parse_policy(&policy_token)?;
+        let eps = parse_epsilon(arg(&args, "eps").ok_or_else(|| bad_err("tenant needs eps=<ε>"))?)?;
+        let budget =
+            parse_epsilon(arg(&args, "budget").ok_or_else(|| bad_err("tenant needs budget=<ε>"))?)?;
+        let data = parse_data(
+            graph.domain(),
+            arg(&args, "data").ok_or_else(|| bad_err("tenant needs data=<v,v,…|uniform:<v>>"))?,
+        )?;
+        Ok(Request::Tenant {
+            config: Box::new(TenantConfig {
+                id,
+                graph,
+                eps,
+                budget,
+                data,
+            }),
+            policy_token,
+        })
     }
 }
 
-const HELP: &str = "commands: tenant|plan|fit|answer|stats|help|quit \
-(see the blowfish-engine wire module docs for syntax)";
-
-/// Formats a typed [`Response`] as one protocol line.
-pub fn format_response(response: &Response) -> Result<String, EngineError> {
-    Ok(match response {
-        Response::Planned { spec } => format!("ok plan {}", spec.id()),
-        Response::Fitted {
+/// Dispatches one typed request against a service, producing the typed
+/// response. Engine-level rejections (unknown tenant, exhausted budget,
+/// bad ranges) come back as [`WireError::Engine`].
+pub fn serve_request(service: &Service, request: &Request) -> Result<Response, WireError> {
+    match request {
+        Request::Hello { version } => match version {
+            Some(v) if v != PROTOCOL_VERSION => Err(WireError::UnsupportedVersion {
+                requested: v.clone(),
+            }),
+            _ => Ok(Response::Hello),
+        },
+        Request::Help => Ok(Response::Help),
+        Request::Quit => Ok(Response::Goodbye),
+        Request::Use { tenant } => {
+            // Validate before the codec records the default: `use ghost`
+            // must not silently aim subsequent commands at a tenant that
+            // can never serve them.
+            service.tenant_domain(tenant)?;
+            Ok(Response::Using {
+                tenant: tenant.clone(),
+            })
+        }
+        Request::Tenant { config, .. } => {
+            let id = config.id.clone();
+            let policy = config.graph.name().to_string();
+            let cells = config.data.domain().size();
+            service.add_tenant(config.as_ref().clone())?;
+            Ok(Response::TenantAdded { id, policy, cells })
+        }
+        Request::Plan { tenant, task } => Ok(Response::Engine(service.handle(
+            &service::Request::Plan {
+                tenant: tenant.clone(),
+                task: *task,
+            },
+        )?)),
+        Request::Fit {
+            tenant,
+            spec,
+            task,
+            seed,
             handle,
-            charged,
-            spent,
-            remaining,
-        } => format!("ok fit {handle} charged={charged} spent={spent} remaining={remaining}"),
-        Response::Answers { values } => {
-            let mut out = format!("ok answer {}", values.len());
-            for v in values {
-                out.push(' ');
-                out.push_str(&format!("{v}"));
-            }
-            out
-        }
-        Response::Stats {
-            tenants,
-            artifact_builds,
+        } => Ok(Response::Engine(service.handle(
+            &service::Request::Fit {
+                tenant: tenant.clone(),
+                spec: *spec,
+                task: *task,
+                seed: *seed,
+                handle: handle.clone(),
+            },
+        )?)),
+        Request::Answer {
+            tenant,
+            handle,
+            ranges,
         } => {
-            let mut out = format!(
-                "ok stats builds={artifact_builds} tenants={}",
-                tenants.len()
-            );
-            for t in tenants {
-                out.push_str(&format!(
-                    " | {} spent={} remaining={} fits={} estimates={}",
-                    t.id, t.spent, t.remaining, t.fits, t.estimates
-                ));
-            }
-            out
+            let domain = service.tenant_domain(tenant)?;
+            let queries = ranges
+                .iter()
+                .map(|r| r.clone().into_query(&domain))
+                .collect::<Result<Vec<RangeQuery>, EngineError>>()?;
+            Ok(Response::Engine(service.handle(
+                &service::Request::Answer {
+                    tenant: tenant.clone(),
+                    handle: handle.clone(),
+                    queries,
+                },
+            )?))
         }
-    })
+        Request::Stats { tenant } => Ok(Response::Engine(service.handle(
+            &service::Request::Stats {
+                tenant: tenant.clone(),
+            },
+        )?)),
+    }
 }
 
-fn bad(what: &str) -> EngineError {
-    EngineError::BadRequest {
+/// Parses and serves one protocol line against a service with no
+/// connection state — the legacy entry point, now a thin compat wrapper
+/// over a fresh [`Codec`]. Never panics on malformed input.
+pub fn handle_line(service: &Service, line: &str) -> WireReply {
+    Codec::new().serve(service, line)
+}
+
+impl From<&service::Request> for Request {
+    /// The wire form of an engine request (used by load generators to
+    /// render typed traces onto a socket).
+    fn from(request: &service::Request) -> Request {
+        match request {
+            service::Request::Plan { tenant, task } => Request::Plan {
+                tenant: tenant.clone(),
+                task: *task,
+            },
+            service::Request::Fit {
+                tenant,
+                spec,
+                task,
+                seed,
+                handle,
+            } => Request::Fit {
+                tenant: tenant.clone(),
+                spec: *spec,
+                task: *task,
+                seed: *seed,
+                handle: handle.clone(),
+            },
+            service::Request::Answer {
+                tenant,
+                handle,
+                queries,
+            } => Request::Answer {
+                tenant: tenant.clone(),
+                handle: handle.clone(),
+                ranges: queries
+                    .iter()
+                    .map(|q| RawRange {
+                        lo: q.lo.clone(),
+                        hi: q.hi.clone(),
+                    })
+                    .collect(),
+            },
+            service::Request::Stats { tenant } => Request::Stats {
+                tenant: tenant.clone(),
+            },
+        }
+    }
+}
+
+fn bad(what: &str) -> WireError {
+    WireError::BadRequest {
         what: what.to_string(),
     }
 }
 
-/// First positional token is the tenant id; the rest are arguments.
-fn split_id<'a>(rest: &[&'a str], command: &str) -> Result<(&'a str, Vec<&'a str>), EngineError> {
-    match rest.split_first() {
-        Some((id, args)) if !id.contains('=') => Ok((id, args.to_vec())),
-        _ => Err(bad(&format!("{command} needs a tenant id"))),
-    }
+// Closure-friendly alias (`ok_or_else` wants a zero-arg constructor).
+fn bad_err(what: &str) -> WireError {
+    bad(what)
 }
 
 /// Looks up `key=` in the argument tokens.
@@ -200,7 +718,7 @@ fn arg<'a>(args: &[&'a str], key: &str) -> Option<&'a str> {
         .find_map(|t| t.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
 }
 
-fn parse_task(token: &str) -> Result<Task, EngineError> {
+fn parse_task(token: &str) -> Result<Task, WireError> {
     match token {
         "hist" | "histogram" => Ok(Task::Histogram),
         "range1d" => Ok(Task::Range1d),
@@ -209,27 +727,16 @@ fn parse_task(token: &str) -> Result<Task, EngineError> {
     }
 }
 
-fn parse_tenant(rest: &[&str]) -> Result<TenantConfig, EngineError> {
-    let (id, args) = split_id(rest, "tenant")?;
-    let policy = arg(&args, "policy").ok_or_else(|| bad("tenant needs policy=<spec>"))?;
-    let graph = parse_policy(policy)?;
-    let eps = parse_epsilon(arg(&args, "eps").ok_or_else(|| bad("tenant needs eps=<ε>"))?)?;
-    let budget =
-        parse_epsilon(arg(&args, "budget").ok_or_else(|| bad("tenant needs budget=<ε>"))?)?;
-    let data = parse_data(
-        graph.domain(),
-        arg(&args, "data").ok_or_else(|| bad("tenant needs data=<v,v,…|uniform:<v>>"))?,
-    )?;
-    Ok(TenantConfig {
-        id: id.to_string(),
-        graph,
-        eps,
-        budget,
-        data,
-    })
+/// The canonical wire token for a task (inverse of the parser).
+pub fn task_token(task: Task) -> &'static str {
+    match task {
+        Task::Histogram => "hist",
+        Task::Range1d => "range1d",
+        Task::Range2d => "range2d",
+    }
 }
 
-fn parse_epsilon(token: &str) -> Result<Epsilon, EngineError> {
+fn parse_epsilon(token: &str) -> Result<Epsilon, WireError> {
     let value: f64 = token
         .parse()
         .map_err(|_| bad(&format!("bad ε value {token}")))?;
@@ -247,9 +754,9 @@ const MAX_WIRE_K: usize = 4096;
 const MAX_WIRE_THETA: usize = 64;
 const MAX_WIRE_EDGES: usize = 1 << 22;
 
-fn parse_policy(token: &str) -> Result<PolicyGraph, EngineError> {
+fn parse_policy(token: &str) -> Result<PolicyGraph, WireError> {
     let parts: Vec<&str> = token.split(':').collect();
-    let num = |s: &str, cap: usize, what: &str| -> Result<usize, EngineError> {
+    let num = |s: &str, cap: usize, what: &str| -> Result<usize, WireError> {
         let n: usize = s
             .parse()
             .map_err(|_| bad(&format!("bad number {s} in policy {token}")))?;
@@ -264,7 +771,7 @@ fn parse_policy(token: &str) -> Result<PolicyGraph, EngineError> {
     let theta = |s| num(s, MAX_WIRE_THETA, "θ");
     // Upper estimate of |E| for a family, saturating; rejected before any
     // graph memory is allocated.
-    let fits = |edges: usize| -> Result<(), EngineError> {
+    let fits = |edges: usize| -> Result<(), WireError> {
         if edges > MAX_WIRE_EDGES {
             return Err(bad(&format!(
                 "policy {token} would build ~{edges} edges (wire limit {MAX_WIRE_EDGES})"
@@ -301,7 +808,7 @@ fn parse_policy(token: &str) -> Result<PolicyGraph, EngineError> {
     Ok(graph?)
 }
 
-fn parse_data(domain: &Domain, token: &str) -> Result<DataVector, EngineError> {
+fn parse_data(domain: &Domain, token: &str) -> Result<DataVector, WireError> {
     let counts: Vec<f64> = if let Some(v) = token.strip_prefix("uniform:") {
         let fill: f64 = v
             .parse()
@@ -311,20 +818,20 @@ fn parse_data(domain: &Domain, token: &str) -> Result<DataVector, EngineError> {
         token
             .split(',')
             .map(|s| s.parse().map_err(|_| bad(&format!("bad data value {s}"))))
-            .collect::<Result<Vec<f64>, EngineError>>()?
+            .collect::<Result<Vec<f64>, WireError>>()?
     };
     Ok(DataVector::new(domain.clone(), counts)?)
 }
 
-/// Parses `lo..hi` (1-D) or `lo..hix lo..hi` dims joined with `x` into a
-/// validated range query over `domain`.
-fn parse_range(domain: &Domain, token: &str) -> Result<RangeQuery, EngineError> {
+/// Parses `lo..hi` (1-D) or dims joined with `x` into raw bounds (domain
+/// validation happens at serve time).
+fn parse_raw_range(token: &str) -> Result<RawRange, WireError> {
     let mut lo = Vec::new();
     let mut hi = Vec::new();
     for dim in token.split('x') {
         let (a, b) = dim
             .split_once("..")
-            .ok_or_else(|| bad(&format!("bad range {token} (want lo..hi)")))?;
+            .ok_or_else(|| bad_err(&format!("bad range {token} (want lo..hi)")))?;
         lo.push(
             a.parse()
                 .map_err(|_| bad(&format!("bad range bound {a}")))?,
@@ -334,7 +841,7 @@ fn parse_range(domain: &Domain, token: &str) -> Result<RangeQuery, EngineError> 
                 .map_err(|_| bad(&format!("bad range bound {b}")))?,
         );
     }
-    Ok(RangeQuery::new(domain, lo, hi)?)
+    Ok(RawRange { lo, hi })
 }
 
 #[cfg(test)]
@@ -430,6 +937,128 @@ mod tests {
     }
 
     #[test]
+    fn unknown_commands_are_structured_with_the_verb_list() {
+        let service = Service::new();
+        let e = err(&service, "frobnicate all the things");
+        assert!(e.starts_with("err unknown-command frobnicate"), "{e}");
+        for verb in VERBS {
+            assert!(e.contains(verb), "verb list missing {verb}: {e}");
+        }
+        // The typed decode error matches the rendered reply.
+        let decoded = Codec::new().decode("frobnicate").unwrap_err();
+        assert_eq!(
+            decoded,
+            WireError::UnknownCommand {
+                command: "frobnicate".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn version_negotiation_and_banner() {
+        let service = Service::new();
+        assert!(Codec::banner().starts_with("ok blowfish/1 "));
+        assert_eq!(ok(&service, "hello"), "ok hello blowfish/1");
+        assert_eq!(ok(&service, "hello blowfish/1"), "ok hello blowfish/1");
+        let e = err(&service, "hello blowfish/2");
+        assert!(e.starts_with("err unsupported-version blowfish/2"), "{e}");
+        // `help` reports the protocol version.
+        let h = ok(&service, "help");
+        assert!(h.starts_with("ok help blowfish/1 "), "{h}");
+        assert!(h.contains("tenant|use|plan"), "{h}");
+    }
+
+    #[test]
+    fn use_sets_the_connection_default_tenant() {
+        let service = Service::new();
+        let mut codec = Codec::new();
+        let onboard = codec.serve(
+            &service,
+            "tenant acme policy=line:8 eps=0.5 budget=4.0 data=uniform:2",
+        );
+        assert!(matches!(onboard, WireReply::Reply(r) if r.starts_with("ok tenant acme")));
+        // Without a default, id-less commands are rejected with a hint.
+        let bare = codec.serve(&service, "fit as=r1 seed=1");
+        assert!(
+            matches!(&bare, WireReply::Reply(r) if r.contains("use <tenant>")),
+            "{bare:?}"
+        );
+        // `use ghost` is rejected and leaves no default behind.
+        let ghost = codec.serve(&service, "use ghost");
+        assert!(matches!(&ghost, WireReply::Reply(r) if r.starts_with("err unknown tenant")));
+        assert_eq!(codec.default_tenant(), None);
+        // After `use acme`, the tenant id is implied.
+        assert_eq!(
+            codec.serve(&service, "use acme"),
+            WireReply::Reply("ok use acme".to_string())
+        );
+        assert_eq!(codec.default_tenant(), Some("acme"));
+        let fit = codec.serve(&service, "fit as=r1 seed=1");
+        assert!(
+            matches!(&fit, WireReply::Reply(r) if r.starts_with("ok fit r1 ")),
+            "{fit:?}"
+        );
+        let answer = codec.serve(&service, "answer from=r1 0..7");
+        assert!(
+            matches!(&answer, WireReply::Reply(r) if r.starts_with("ok answer 1 ")),
+            "{answer:?}"
+        );
+        // Explicit ids still win over the default.
+        let ghost_fit = codec.serve(&service, "fit ghost as=r2 seed=2");
+        assert!(matches!(&ghost_fit, WireReply::Reply(r) if r.starts_with("err unknown tenant")));
+        // The legacy stateless wrapper never carries a default across
+        // calls.
+        let stateless = handle_line(&service, "fit as=r9 seed=9");
+        assert!(matches!(&stateless, WireReply::Reply(r) if r.starts_with("err ")));
+    }
+
+    #[test]
+    fn encode_request_decode_round_trips() {
+        let codec = Codec::new();
+        let lines = [
+            "hello blowfish/1",
+            "help",
+            "quit",
+            "use acme",
+            "tenant acme policy=line:4 eps=0.5 budget=2 data=1,2,3,4",
+            "plan acme task=range1d",
+            "fit acme as=r1 seed=7 task=range2d mech=dp-laplace",
+            "answer acme from=r1 0..3 1..2x0..1",
+            "stats",
+            "stats acme",
+        ];
+        for line in lines {
+            let request = codec
+                .decode(line)
+                .unwrap_or_else(|e| panic!("{line}: {e}"))
+                .unwrap_or_else(|| panic!("{line}: silent"));
+            let rendered = Codec::encode_request(&request);
+            // Canonical lines render back byte-identically…
+            assert_eq!(rendered, line, "round trip for {line}");
+            // …and re-decode to a request that renders the same again.
+            let again = codec.decode(&rendered).unwrap().unwrap();
+            assert_eq!(Codec::encode_request(&again), rendered);
+        }
+        // Engine requests convert into wire requests that serve
+        // identically.
+        let service = Service::new();
+        ok(
+            &service,
+            "tenant acme policy=line:4 eps=0.5 budget=2 data=1,2,3,4",
+        );
+        let engine_request = service::Request::Fit {
+            tenant: "acme".into(),
+            spec: None,
+            task: Task::Range1d,
+            seed: 3,
+            handle: "w".into(),
+        };
+        let wire_request = Request::from(&engine_request);
+        let reply = ok(&service, &Codec::encode_request(&wire_request));
+        assert!(reply.starts_with("ok fit w charged=0.5"), "{reply}");
+    }
+
+    #[test]
     fn oversized_policies_are_rejected_before_allocation() {
         // One request line must not be able to OOM the server.
         let service = Service::new();
@@ -466,5 +1095,11 @@ mod tests {
             handle_line(&service, "help"),
             WireReply::Reply(r) if r.starts_with("ok help")
         ));
+        // The typed pipeline agrees: quit decodes, and even dispatching
+        // it directly is well-defined.
+        let request = Codec::new().decode("quit").unwrap().unwrap();
+        assert!(matches!(request, Request::Quit));
+        let response = serve_request(&service, &request).unwrap();
+        assert_eq!(Codec::encode(&response), "ok bye");
     }
 }

@@ -1,6 +1,7 @@
 //! `blowfish-serve` — the end-to-end server entry point: a
-//! budget-metered multi-tenant [`Service`] speaking the newline-delimited
-//! request protocol over stdin/stdout.
+//! budget-metered multi-tenant [`Service`] speaking the versioned
+//! newline-delimited `blowfish/1` wire protocol, over stdin/stdout by
+//! default or over TCP with `--tcp`.
 //!
 //! One request per line in, one `ok …`/`err …` line out; `quit` (or EOF)
 //! ends the session. Try it interactively:
@@ -16,25 +17,120 @@
 //! quit
 //! ```
 //!
-//! or pipe a script: `blowfish-serve < requests.txt`. The full command
-//! syntax is documented in the `blowfish_engine::wire` module.
+//! or pipe a script: `blowfish-serve < requests.txt`. In TCP mode:
+//!
+//! ```text
+//! $ blowfish-serve --tcp 127.0.0.1:7741 --max-conns 1024 --idle-timeout-secs 300
+//! ```
+//!
+//! every connection is greeted with the `ok blowfish/1 ready …` banner
+//! and gets its own connection-scoped codec (so `use <tenant>` defaults
+//! are per client). Over-limit connections are shed with
+//! `err server-busy`; SIGTERM-free graceful shutdown is driven by the
+//! process exiting (the server drains on drop). The full command syntax
+//! is documented in the `blowfish_engine::wire` module.
 
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
 
-use blowfish_privacy::engine::{handle_line, Service, WireReply};
+use blowfish_privacy::engine::{Codec, NetConfig, Service, TcpServer, WireReply};
+
+struct Args {
+    tcp: Option<String>,
+    config: NetConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        tcp: None,
+        config: NetConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| it.next().ok_or(format!("{flag} needs {what}"));
+        match flag.as_str() {
+            "--tcp" => args.tcp = Some(value("an address (host:port)")?),
+            "--max-conns" => {
+                args.config.max_connections = value("a count")?
+                    .parse()
+                    .map_err(|_| "--max-conns needs an integer".to_string())?
+            }
+            "--idle-timeout-secs" => {
+                args.config.idle_timeout = Duration::from_secs(
+                    value("seconds")?
+                        .parse()
+                        .map_err(|_| "--idle-timeout-secs needs an integer".to_string())?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: blowfish-serve [--tcp ADDR] [--max-conns N] [--idle-timeout-secs S]\n\
+                     \n\
+                     Without --tcp, serves the blowfish/1 protocol over stdin/stdout.\n\
+                     With --tcp ADDR (e.g. 127.0.0.1:7741), serves concurrent TCP clients."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
 
 fn main() {
-    let service = Service::new();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("blowfish-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let service = Arc::new(Service::new());
+    match args.tcp {
+        Some(addr) => serve_tcp(service, &addr, args.config),
+        None => serve_stdio(&service),
+    }
+}
+
+/// TCP mode: bind, report the bound address on stdout (so scripts using
+/// port 0 can discover it), then park until stdin closes — the
+/// conventional "run under a supervisor, stop via EOF/kill" lifecycle.
+fn serve_tcp(service: Arc<Service>, addr: &str, config: NetConfig) {
+    let mut server = match TcpServer::bind(service, addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("blowfish-serve: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("listening {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    // Park until EOF on stdin; ignore any input content.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    eprintln!("blowfish-serve: draining connections");
+    server.shutdown(Duration::from_secs(5));
+}
+
+/// stdin/stdout mode: one codec for the whole session (byte-compatible
+/// with pre-TCP releases — the banner goes to stderr, never stdout).
+fn serve_stdio(service: &Service) {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    eprintln!("blowfish-serve ready (newline-delimited requests; `help` lists commands)");
+    let mut codec = Codec::new();
+    eprintln!("{}", Codec::banner());
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(line) => line,
             Err(_) => break,
         };
-        match handle_line(&service, &line) {
+        match codec.serve(service, &line) {
             WireReply::Reply(reply) => {
                 if writeln!(out, "{reply}").and_then(|_| out.flush()).is_err() {
                     break;

@@ -36,8 +36,11 @@
 //!   [`Session`](engine::Session)/planner serving fitted
 //!   [`Estimate`](strategies::Estimate)s at O(1) per range query, and the
 //!   concurrent budget-metered multi-tenant
-//!   [`Service`](engine::Service) with its newline-delimited
-//!   [`wire`](engine::wire) protocol (the `blowfish-serve` bin).
+//!   [`Service`](engine::Service) with its versioned newline-delimited
+//!   [`wire`](engine::wire) protocol (`blowfish/1`, typed
+//!   [`Codec`](engine::Codec)) and the bounded concurrent
+//!   [`TcpServer`](engine::TcpServer) front end (the `blowfish-serve`
+//!   bin, stdin/stdout or `--tcp`).
 //! * [`data`] — synthetic Table-1 datasets.
 //!
 //! ## Quickstart
@@ -84,8 +87,9 @@ pub mod prelude {
     };
     pub use blowfish_data::{dataset, DatasetId};
     pub use blowfish_engine::{
-        fit_cells, fit_cells_serial, parallel_map, FitCell, Fitted, MechanismSpec, Plan, PlanCache,
-        Policy, Request, Response, Service, Session, Task, TenantConfig, TenantStats,
+        fit_cells, fit_cells_serial, parallel_map, Codec, FitCell, Fitted, MechanismSpec,
+        NetConfig, NetStats, Plan, PlanCache, Policy, Request, Response, Service, Session, Task,
+        TcpServer, TenantConfig, TenantStats, WireError, PROTOCOL_VERSION,
     };
     pub use blowfish_mechanisms::{
         dawa_histogram, hierarchical_histogram, isotonic_non_decreasing, laplace_histogram,
