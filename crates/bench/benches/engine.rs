@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use blowfish_core::{DataVector, Domain, Epsilon};
-use blowfish_engine::{MechanismSpec, Policy, Session};
+use blowfish_engine::{MatrixStrategyKind, MechanismSpec, Policy, Session};
 use blowfish_mechanisms::{hierarchical_strategy, identity_strategy, MatrixMechanism};
 use blowfish_strategies::ThetaEstimator;
 
@@ -181,6 +181,49 @@ fn bench_engine(c: &mut Criterion) {
 
     g.finish();
 
+    // --- Sparse planning at large k: the domain sizes the dense path
+    // cannot reach (a dense A⁺ at k = 65 536 is 34 GB). Plans route
+    // through the CSR strategy + CG pseudoinverse application
+    // (`SparseMatrixMechanism`), so both the plan and each release run in
+    // O(nnz) = O(k log k). Snapshotted into BENCH_plan.json
+    // (`plan_sparse_ns`) and gated in CI.
+    let mut gs = c.benchmark_group("plan-sparse");
+    gs.sample_size(10);
+    let mspec = MechanismSpec::MatrixHist {
+        strategy: MatrixStrategyKind::Hierarchical,
+    };
+    let mut sparse_release_ids = Vec::new();
+    for ks in [4096usize, 16_384, 65_536] {
+        let theta = 4;
+        gs.bench_function(BenchmarkId::new("theta_line_sparse_plan", ks), |b| {
+            b.iter(|| {
+                let s = Session::with_policy(Domain::one_dim(ks), Policy::Theta1d { theta }, eps)
+                    .expect("session");
+                black_box(s.mechanism(&mspec).expect("mechanism"))
+            })
+        });
+        let ss = Session::with_policy(Domain::one_dim(ks), Policy::Theta1d { theta }, eps)
+            .expect("session");
+        let sm = ss.mechanism(&mspec).expect("mechanism");
+        assert_eq!(
+            ss.cache().stats().sparse_matrix_builds(),
+            1,
+            "k = {ks} > SPARSE_DOMAIN_THRESHOLD must plan through the sparse path"
+        );
+        assert_eq!(
+            ss.cache().stats().pseudoinverse_builds(),
+            0,
+            "the large-k plan must never materialize a dense A⁺"
+        );
+        let xs = DataVector::new(Domain::one_dim(ks), vec![2.0; ks]).expect("uniform");
+        gs.bench_function(BenchmarkId::new("matrix_hist_sparse_release", ks), |b| {
+            let mut rng = StdRng::seed_from_u64(6);
+            b.iter(|| black_box(sm.fit(&xs, &mut rng).expect("fit")))
+        });
+        sparse_release_ids.push(format!("plan-sparse/matrix_hist_sparse_release/{ks}"));
+    }
+    gs.finish();
+
     // Machine-readable results for the CI bench-regression gate (no-op
     // unless BLOWFISH_BENCH_SNAPSHOT_DIR is set; shim extension).
     if let Some(path) = c.write_snapshot("engine") {
@@ -218,6 +261,15 @@ fn bench_engine(c: &mut Criterion) {
         assert!(
             cached * 5.0 < cold,
             "cached A⁺ release ({cached:.0} ns) no longer clearly beats cold pseudoinverse derivation ({cold:.0} ns)"
+        );
+        // Sparse releases must scale like O(nnz) = O(k log k): going from
+        // k = 4096 to k = 65 536 multiplies nnz by ~21, so a 100x margin
+        // passes with headroom while an accidental O(k²)+ fallback
+        // (≥256x) fails.
+        let (small, large) = (mean(&sparse_release_ids[0]), mean(&sparse_release_ids[2]));
+        assert!(
+            large < small * 100.0,
+            "sparse release no longer scales like O(nnz): k=4096 {small:.0} ns vs k=65536 {large:.0} ns"
         );
     }
 }

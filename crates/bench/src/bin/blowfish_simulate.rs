@@ -12,7 +12,7 @@
 //!                   [--seed N] [--requests N] [--out DIR]
 //! ```
 //!
-//! * `--quick` — the three canned smoke scenarios (also the default when
+//! * `--quick` — the four canned smoke scenarios (also the default when
 //!   `BLOWFISH_BENCH_QUICK` is set); without it the full catalog runs;
 //! * `--scenario NAME` — one catalog scenario (repeatable);
 //! * `--seed N` / `--requests N` — override those axes on the selected

@@ -84,6 +84,13 @@ pub enum SpecChoice {
     /// `Transformed + Laplace` (Theorem 5.2), every other family runs
     /// the ε/2-DP Laplace baseline.
     ClosedForm,
+    /// Every fit names the matrix mechanism with the hierarchical
+    /// strategy (`MechanismSpec::MatrixHist`). Above
+    /// [`SPARSE_DOMAIN_THRESHOLD`](blowfish_engine::SPARSE_DOMAIN_THRESHOLD)
+    /// the engine plans it through the sparse path: CSR strategy plus CG
+    /// pseudoinverse application, never a dense k×k A⁺ — the only route
+    /// that reaches large domains like k = 16 384.
+    SparseMatrix,
 }
 
 /// One fully specified simulation scenario: every axis of the workload.
@@ -176,9 +183,10 @@ impl Scenario {
         SHAPES[index % SHAPES.len()]
     }
 
-    /// The three canned scenarios the CI `simulate-smoke` gate replays:
+    /// The four canned scenarios the CI `simulate-smoke` gate replays:
     /// small enough to finish in seconds, together covering mixed policy
-    /// families, exact budget exhaustion, and skewed 2-D traffic.
+    /// families, exact budget exhaustion, skewed 2-D traffic, and
+    /// large-domain sparse planning.
     pub fn quick_catalog() -> Vec<Scenario> {
         vec![
             Scenario {
@@ -264,11 +272,32 @@ impl Scenario {
                 arrival: ArrivalPattern::HotKey { skew: 1.2 },
                 specs: SpecChoice::Planner,
             },
+            Scenario {
+                name: "sparse-large-domain".to_string(),
+                description: "2 θ-line tenants over k = 16384 — far above the dense \
+                              planning ceiling — fitting the matrix mechanism through \
+                              the sparse CSR + CG path"
+                    .to_string(),
+                seed: 41,
+                tenants: 2,
+                policies: vec![PolicyFamily::ThetaLine { theta: 4 }],
+                domain_1d: 16_384,
+                grid_k: 8,
+                scale: 50_000,
+                eps: 0.5,
+                budget: BudgetDistribution::Fixed(1e6),
+                requests: 20,
+                fit_fraction: 0.3,
+                queries_per_answer: 16,
+                mix: QueryMix::ranges_only(),
+                arrival: ArrivalPattern::Uniform,
+                specs: SpecChoice::SparseMatrix,
+            },
         ]
     }
 
-    /// The full catalog: the quick trio plus heavier soak scenarios for
-    /// local perf work.
+    /// The full catalog: the quick quartet plus heavier soak scenarios
+    /// for local perf work.
     pub fn catalog() -> Vec<Scenario> {
         let mut all = Scenario::quick_catalog();
         all.push(Scenario {
@@ -331,8 +360,9 @@ mod tests {
             s.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
         }
         // The quick catalog is a strict prefix of the full one.
-        assert_eq!(Scenario::quick_catalog().len(), 3);
+        assert_eq!(Scenario::quick_catalog().len(), 4);
         assert!(Scenario::find("smoke-mixed").is_some());
+        assert!(Scenario::find("sparse-large-domain").is_some());
         assert!(Scenario::find("no-such-scenario").is_none());
     }
 

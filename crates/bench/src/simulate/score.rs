@@ -663,6 +663,28 @@ mod tests {
     }
 
     #[test]
+    fn sparse_large_domain_scenario_plans_through_the_sparse_path() {
+        // Replay the large-k scenario against a hand-built service so the
+        // plan-cache counters are observable: at k = 16384 every
+        // MatrixHist fit must route through the sparse CSR + CG path
+        // (one build, shared by both tenants) and never materialize a
+        // dense A⁺.
+        let scenario = Scenario::find("sparse-large-domain").unwrap();
+        let trace = generate(&scenario).unwrap();
+        let service = Service::new();
+        for tenant in &trace.tenants {
+            service.add_tenant(tenant.config.clone()).unwrap();
+        }
+        let replayed = service.replay(&trace.requests);
+        assert!(replayed.iter().all(|r| r.response.is_ok()));
+        assert_eq!(service.cache().stats().sparse_matrix_builds(), 1);
+        assert_eq!(service.cache().stats().pseudoinverse_builds(), 0);
+        // And the scorer holds it to the same gates as every scenario.
+        let report = score(&scenario, &trace).unwrap();
+        assert!(report.passed(), "{:#?}", report.violations);
+    }
+
+    #[test]
     fn percentile_nearest_rank() {
         assert_eq!(percentile(&[], 0.99), 0);
         assert_eq!(percentile(&[5], 0.99), 5);

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 
 use blowfish_core::{sample_query_mix, Domain, Epsilon, PolicyGraph};
 use blowfish_data::scenario_population;
-use blowfish_engine::{MechanismSpec, Request, Task, TenantConfig};
+use blowfish_engine::{MatrixStrategyKind, MechanismSpec, Request, Task, TenantConfig};
 use blowfish_strategies::TreeEstimator;
 
 use crate::simulate::scenario::{ArrivalPattern, PolicyFamily, Scenario, SpecChoice};
@@ -103,6 +103,12 @@ fn spec_for(family: PolicyFamily, choice: SpecChoice) -> Option<MechanismSpec> {
         SpecChoice::ClosedForm => Some(match family {
             PolicyFamily::Line => MechanismSpec::Line(TreeEstimator::Laplace),
             _ => MechanismSpec::Laplace,
+        }),
+        // The ε/2-DP matrix-mechanism baseline with the hierarchical
+        // strategy: valid under every policy family, and planned through
+        // the sparse CSR + CG path above SPARSE_DOMAIN_THRESHOLD.
+        SpecChoice::SparseMatrix => Some(MechanismSpec::MatrixHist {
+            strategy: MatrixStrategyKind::Hierarchical,
         }),
     }
 }

@@ -103,10 +103,10 @@ pub mod wire;
 
 pub use net::{NetConfig, NetStats, TcpServer};
 pub use parallel::{fit_cells, fit_cells_serial, parallel_map, FitCell};
-pub use plan::{PlanCache, PlanStats};
+pub use plan::{MatrixPathMode, PlanCache, PlanStats, PlannedMatrix, SPARSE_DOMAIN_THRESHOLD};
 pub use service::{Replayed, Request, Response, Service, TenantConfig, TenantStats};
 pub use session::{Fitted, Plan, Policy, Session};
-pub use spec::{MechanismSpec, Task};
+pub use spec::{MatrixStrategyKind, MechanismSpec, Task};
 pub use wire::{handle_line, Codec, WireError, WireReply, PROTOCOL_VERSION};
 
 use blowfish_core::CoreError;

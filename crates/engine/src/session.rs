@@ -26,14 +26,20 @@ use std::sync::{Arc, Mutex};
 use rand::RngCore;
 
 use blowfish_core::{Charge, DataVector, Domain, Epsilon, Ledger, PolicyGraph, Vtx};
+use blowfish_linalg::{Matrix, SparseMatrix};
+use blowfish_mechanisms::{
+    hierarchical_strategy, hierarchical_strategy_sparse, identity_strategy,
+    identity_strategy_sparse, wavelet_strategy, wavelet_strategy_sparse, MatrixMechanism,
+    MechanismError, SparseMatrixMechanism,
+};
 use blowfish_strategies::{
     DawaBaseline1d, DawaBaseline2d, Estimate, GridMechanism, LaplaceBaseline, LineMechanism,
-    Mechanism, PriveletBaseline1d, PriveletBaselineNd, ThetaEstimator, ThetaGridMechanism,
-    ThetaLineMechanism, TreeEstimator, TreeMechanism,
+    Mechanism, PriveletBaseline1d, PriveletBaselineNd, StrategyError, ThetaEstimator,
+    ThetaGridMechanism, ThetaLineMechanism, TreeEstimator, TreeMechanism,
 };
 
-use crate::plan::PlanCache;
-use crate::spec::{MechanismSpec, Task};
+use crate::plan::{PlanCache, PlannedMatrix};
+use crate::spec::{MatrixStrategyKind, MechanismSpec, Task};
 use crate::EngineError;
 
 /// The policy family a session serves, as recognized by the planner.
@@ -511,6 +517,7 @@ impl Session {
                 | MechanismSpec::PriveletNd
                 | MechanismSpec::Dawa1d
                 | MechanismSpec::Dawa2d
+                | MechanismSpec::MatrixHist { .. }
                 | MechanismSpec::Tree(_),
                 _,
             ) => Ok(()),
@@ -590,8 +597,90 @@ impl Session {
                 let strat = self.cache.theta_grid_strategy(self.domain.dim(0), *theta)?;
                 Arc::new(ThetaGridMechanism::new(strat, eps))
             }
+            MechanismSpec::MatrixHist { strategy } => {
+                let k = self.domain.size();
+                let key = format!("mm-hist/{}/{k}", strategy.id());
+                let planned = self.cache.planned_matrix(
+                    &key,
+                    k,
+                    || dense_matrix_hist(*strategy, k),
+                    || sparse_matrix_hist(*strategy, k),
+                )?;
+                Arc::new(MatrixHistMechanism {
+                    name: spec.id(),
+                    eps,
+                    domain: self.domain.clone(),
+                    planned,
+                })
+            }
         })
     }
+}
+
+/// The matrix mechanism on the histogram workload `W = I_k` as a servable
+/// [`Mechanism`], over whichever path ([`PlannedMatrix`]) the plan cache
+/// chose. For 2-D domains the histogram is the row-major linearization,
+/// so the resulting [`Estimate`] still answers 2-D ranges in O(1).
+struct MatrixHistMechanism {
+    name: String,
+    eps: Epsilon,
+    domain: Domain,
+    planned: PlannedMatrix,
+}
+
+impl std::fmt::Debug for MatrixHistMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatrixHistMechanism")
+            .field("name", &self.name)
+            .field("apply", &self.planned.apply_method())
+            .finish()
+    }
+}
+
+impl Mechanism for MatrixHistMechanism {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        let hist = self
+            .planned
+            .run(x.counts(), self.eps, rng)
+            .map_err(StrategyError::Mechanism)?;
+        Estimate::new(&self.domain, hist)
+    }
+}
+
+/// The dense matrix-hist plan: identity workload, dense strategy matrix,
+/// materialized `W A⁺` (the k ≲ 512 reference path).
+fn dense_matrix_hist(
+    kind: MatrixStrategyKind,
+    k: usize,
+) -> Result<MatrixMechanism, MechanismError> {
+    let strategy = match kind {
+        MatrixStrategyKind::Identity => identity_strategy(k),
+        MatrixStrategyKind::Hierarchical => hierarchical_strategy(k),
+        MatrixStrategyKind::Wavelet => wavelet_strategy(k),
+    };
+    MatrixMechanism::new(Matrix::identity(k), strategy)
+}
+
+/// The sparse matrix-hist plan: CSR identity workload and strategy,
+/// `A⁺` applied per release by matrix-free normal-equation CG.
+fn sparse_matrix_hist(
+    kind: MatrixStrategyKind,
+    k: usize,
+) -> Result<SparseMatrixMechanism, MechanismError> {
+    let strategy = match kind {
+        MatrixStrategyKind::Identity => identity_strategy_sparse(k),
+        MatrixStrategyKind::Hierarchical => hierarchical_strategy_sparse(k),
+        MatrixStrategyKind::Wavelet => wavelet_strategy_sparse(k),
+    };
+    SparseMatrixMechanism::new(SparseMatrix::identity(k), strategy)
 }
 
 #[cfg(test)]
@@ -908,6 +997,72 @@ mod tests {
         // One artifact derivation across both sessions.
         assert_eq!(cache.stats().theta_line_builds(), 1);
         assert!(Arc::ptr_eq(a.cache(), b.cache()));
+    }
+
+    #[test]
+    fn matrix_hist_sparse_fit_matches_dense_fit_from_equal_seeds() {
+        use crate::plan::MatrixPathMode;
+        let k = 96;
+        let graph = PolicyGraph::line(k).unwrap();
+        let eps = Epsilon::new(0.8).unwrap();
+        let x = DataVector::new(
+            Domain::one_dim(k),
+            (0..k).map(|i| (i % 11) as f64).collect(),
+        )
+        .unwrap();
+        for strategy in [
+            MatrixStrategyKind::Identity,
+            MatrixStrategyKind::Hierarchical,
+            MatrixStrategyKind::Wavelet,
+        ] {
+            let spec = MechanismSpec::MatrixHist { strategy };
+            // k=96 under Auto plans dense (the pinned reference)…
+            let dense_session = Session::new(&graph, eps).unwrap();
+            let md = dense_session.mechanism(&spec).unwrap();
+            assert_eq!(dense_session.cache().stats().pseudoinverse_builds(), 1);
+            assert_eq!(dense_session.cache().stats().sparse_matrix_builds(), 0);
+            // …while a sparse-forced cache serves the same spec via CG.
+            let sparse_session = Session::new(&graph, eps).unwrap();
+            sparse_session
+                .cache()
+                .set_matrix_mode(MatrixPathMode::ForceSparse);
+            let ms = sparse_session.mechanism(&spec).unwrap();
+            assert_eq!(sparse_session.cache().stats().pseudoinverse_builds(), 0);
+            assert_eq!(sparse_session.cache().stats().sparse_matrix_builds(), 1);
+            // Baseline convention holds on both paths (ε/2 reported).
+            assert_eq!(md.epsilon(), eps.half());
+            assert_eq!(ms.epsilon(), eps.half());
+            let fd = md.fit(&x, &mut StdRng::seed_from_u64(99)).unwrap();
+            let fs = ms.fit(&x, &mut StdRng::seed_from_u64(99)).unwrap();
+            for i in 0..k {
+                let (d, s) = (fd.histogram()[i], fs.histogram()[i]);
+                assert!(
+                    (d - s).abs() <= 1e-9 * (1.0 + d.abs()),
+                    "{strategy:?} cell {i}: dense {d} vs sparse {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_hist_auto_routes_sparse_above_threshold() {
+        // k = 16 384 ≫ threshold: Auto must take the CSR + CG path, and a
+        // fit must complete without any dense k×k object (a 2 GiB
+        // allocation would OOM the test runner long before asserting).
+        let k = 16_384;
+        let graph = PolicyGraph::theta_line(k, 4).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let session = Session::new(&graph, eps).unwrap();
+        let spec = MechanismSpec::MatrixHist {
+            strategy: MatrixStrategyKind::Hierarchical,
+        };
+        let m = session.mechanism(&spec).unwrap();
+        assert_eq!(session.cache().stats().sparse_matrix_builds(), 1);
+        assert_eq!(session.cache().stats().pseudoinverse_builds(), 0);
+        let x = DataVector::new(Domain::one_dim(k), vec![2.0; k]).unwrap();
+        let est = m.fit(&x, &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(est.histogram().len(), k);
+        assert!(est.histogram().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -55,6 +55,48 @@ pub enum MechanismSpec {
         /// Policy threshold θ.
         theta: usize,
     },
+    /// The ε-DP matrix mechanism on the histogram workload `I_k` with a
+    /// named strategy, routed dense or sparse by the plan cache's
+    /// [`MatrixPathMode`](crate::plan::MatrixPathMode) — above the
+    /// density/size threshold this is the CSR + CG path that serves
+    /// k≈10⁵ domains.
+    MatrixHist {
+        /// Which strategy matrix answers the histogram.
+        strategy: MatrixStrategyKind,
+    },
+}
+
+/// Strategy matrices the [`MechanismSpec::MatrixHist`] mechanism plans
+/// with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MatrixStrategyKind {
+    /// `A = I_k` (the Laplace mechanism in matrix-mechanism clothing).
+    Identity,
+    /// The binary hierarchical strategy `H_k` (O(k log k) sparse).
+    Hierarchical,
+    /// The Haar wavelet strategy `Y_k` (O(k log k) sparse).
+    Wavelet,
+}
+
+impl MatrixStrategyKind {
+    /// The stable id fragment (`identity` / `hierarchical` / `wavelet`)
+    /// used in registry ids and plan-cache keys.
+    pub fn id(self) -> &'static str {
+        match self {
+            MatrixStrategyKind::Identity => "identity",
+            MatrixStrategyKind::Hierarchical => "hierarchical",
+            MatrixStrategyKind::Wavelet => "wavelet",
+        }
+    }
+
+    fn parse(id: &str) -> Option<MatrixStrategyKind> {
+        Some(match id {
+            "identity" => MatrixStrategyKind::Identity,
+            "hierarchical" => MatrixStrategyKind::Hierarchical,
+            "wavelet" => MatrixStrategyKind::Wavelet,
+            _ => return None,
+        })
+    }
 }
 
 impl MechanismSpec {
@@ -69,6 +111,7 @@ impl MechanismSpec {
             MechanismSpec::Line(e) | MechanismSpec::Tree(e) => e.name(),
             MechanismSpec::ThetaLine { estimator, .. } => estimator.name(),
             MechanismSpec::Grid | MechanismSpec::ThetaGrid { .. } => "Transformed + Privelet",
+            MechanismSpec::MatrixHist { .. } => "Matrix Mechanism",
         }
     }
 
@@ -88,6 +131,7 @@ impl MechanismSpec {
             }
             MechanismSpec::Grid => "grid".into(),
             MechanismSpec::ThetaGrid { theta } => format!("theta-grid-{theta}"),
+            MechanismSpec::MatrixHist { strategy } => format!("mm-hist-{}", strategy.id()),
         }
     }
 
@@ -120,6 +164,10 @@ impl MechanismSpec {
                 theta: rest.parse().ok()?,
             });
         }
+        if let Some(rest) = id.strip_prefix("mm-hist-") {
+            return MatrixStrategyKind::parse(rest)
+                .map(|strategy| MechanismSpec::MatrixHist { strategy });
+        }
         None
     }
 
@@ -134,6 +182,7 @@ impl MechanismSpec {
                 | MechanismSpec::PriveletNd
                 | MechanismSpec::Dawa1d
                 | MechanismSpec::Dawa2d
+                | MechanismSpec::MatrixHist { .. }
         )
     }
 
@@ -175,6 +224,13 @@ impl MechanismSpec {
                 theta,
                 estimator: e,
             });
+        }
+        for s in [
+            MatrixStrategyKind::Identity,
+            MatrixStrategyKind::Hierarchical,
+            MatrixStrategyKind::Wavelet,
+        ] {
+            out.push(MechanismSpec::MatrixHist { strategy: s });
         }
         out
     }
@@ -245,6 +301,25 @@ mod tests {
         assert!(MechanismSpec::Dawa2d.is_baseline());
         assert!(!MechanismSpec::Grid.is_baseline());
         assert!(!MechanismSpec::Line(TreeEstimator::Laplace).is_baseline());
+        // The matrix mechanism is data-oblivious pure-ε DP: baseline.
+        assert!(MechanismSpec::MatrixHist {
+            strategy: MatrixStrategyKind::Hierarchical
+        }
+        .is_baseline());
+    }
+
+    #[test]
+    fn matrix_hist_ids_round_trip() {
+        for (kind, id) in [
+            (MatrixStrategyKind::Identity, "mm-hist-identity"),
+            (MatrixStrategyKind::Hierarchical, "mm-hist-hierarchical"),
+            (MatrixStrategyKind::Wavelet, "mm-hist-wavelet"),
+        ] {
+            let spec = MechanismSpec::MatrixHist { strategy: kind };
+            assert_eq!(spec.id(), id);
+            assert_eq!(MechanismSpec::parse(id), Some(spec));
+        }
+        assert!(MechanismSpec::parse("mm-hist-nope").is_none());
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod lu;
 pub mod sparse;
 pub mod svd;
 
-pub use cg::{conjugate_gradient, CgOptions, CgSolution};
+pub use cg::{
+    conjugate_gradient, solve_gram_system, solve_normal_equations, CgOptions, CgSolution,
+};
 pub use cholesky::Cholesky;
 pub use dense::{add_vec, axpy, dot, norm1, norm2, norm_inf, sub_vec, ColView, Matrix};
 pub use eigen::{eigenvalues, eigh, jacobi_eigh, sqrt_psd, SymmetricEigen};

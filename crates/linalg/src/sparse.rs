@@ -4,6 +4,32 @@
 //! extremely sparse (two nonzeros per column for `P_G`, boundary-edge
 //! patterns for range queries), so the core crate stores them in CSR form
 //! and only densifies for the small lower-bound eigenproblems.
+//!
+//! ## Layout and invariants
+//!
+//! [`SparseMatrix`] is classic three-array CSR: `indptr` (length
+//! `rows + 1`), `indices` (column of each stored value, ascending within a
+//! row), and `values`. Matrices are assembled through [`TripletBuilder`],
+//! which accepts `(row, col, value)` pushes in any order — including
+//! repeats of the same coordinate — and canonicalizes on
+//! [`TripletBuilder::build`]: duplicates are summed, and entries whose sum
+//! is exactly `0.0` are dropped, so structural equality (`PartialEq`)
+//! means numerical equality. This is what lets incidence assembly push one
+//! triplet per edge endpoint without pre-deduping.
+//!
+//! ## Kernels
+//!
+//! Everything on the plan-derivation hot path is O(nnz) per application:
+//! [`SparseMatrix::matvec`] / [`SparseMatrix::matvec_transpose`] (plus
+//! allocation-free `_into` variants for solver inner loops),
+//! [`SparseMatrix::col_sq_norms`] (the diagonal of `AᵀA`, the Jacobi
+//! preconditioner for normal-equation CG), and [`SparseMatrix::max_col_l1`]
+//! (the L1 sensitivity `Δ_A`). [`SparseMatrix::gram`] materializes `AᵀA`
+//! as CSR and costs O(Σᵢ nnz(rowᵢ)²) — fine for bounded-row-degree inputs
+//! like incidence matrices, but a dense trap for strategies with a full
+//! row (e.g. the hierarchical root); solvers that only need `AᵀA x`
+//! should stay matrix-free via the paired `matvec`/`matvec_transpose`
+//! ([`crate::solve_normal_equations`] does exactly this).
 
 use crate::dense::Matrix;
 use crate::LinalgError;
@@ -45,7 +71,10 @@ impl TripletBuilder {
         self.entries.is_empty()
     }
 
-    /// Compresses the triplets into a CSR matrix, summing duplicates.
+    /// Compresses the triplets into a CSR matrix, summing duplicate
+    /// `(row, col)` coordinates and dropping entries whose sum is exactly
+    /// `0.0`, so the result is canonical: sorted column indices per row,
+    /// at most one stored value per coordinate, and no explicit zeros.
     pub fn build(mut self) -> SparseMatrix {
         self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut indptr = Vec::with_capacity(self.rows + 1);
@@ -53,19 +82,25 @@ impl TripletBuilder {
         let mut values = Vec::with_capacity(self.entries.len());
         indptr.push(0);
         let mut current_row = 0usize;
-        for (r, c, v) in self.entries {
+        let mut i = 0usize;
+        let entries = &self.entries;
+        while i < entries.len() {
+            let (r, c, _) = entries[i];
+            // Sum the run of triplets sharing this (row, col) coordinate.
+            let mut sum = 0.0;
+            while i < entries.len() && entries[i].0 == r && entries[i].1 == c {
+                sum += entries[i].2;
+                i += 1;
+            }
+            if sum == 0.0 {
+                continue; // duplicates cancelled exactly — keep CSR canonical
+            }
             while current_row < r {
                 indptr.push(indices.len());
                 current_row += 1;
             }
-            if let (Some(&last_c), Some(last_v)) = (indices.last(), values.last_mut()) {
-                if indices.len() > *indptr.last().unwrap() && last_c == c {
-                    *last_v += v;
-                    continue;
-                }
-            }
             indices.push(c);
-            values.push(v);
+            values.push(sum);
         }
         while current_row < self.rows {
             indptr.push(indices.len());
@@ -196,6 +231,92 @@ impl SparseMatrix {
             }
         }
         Ok(y)
+    }
+
+    /// Allocation-free `self * x`, writing into `y` (`y.len() == rows`).
+    ///
+    /// The workhorse of iterative solvers: CG calls this once per
+    /// iteration, so the buffers are caller-owned and reused.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, self.rows),
+                got: (x.len(), y.len()),
+            });
+        }
+        for (i, yi) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, v) in self.row(i) {
+                acc += v * x[j];
+            }
+            *yi = acc;
+        }
+        Ok(())
+    }
+
+    /// Allocation-free `self^T * x`, writing into `y` (`y.len() == cols`).
+    pub fn matvec_transpose_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), LinalgError> {
+        if x.len() != self.rows || y.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.rows, self.cols),
+                got: (x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, v) in self.row(i) {
+                y[j] += v * xi;
+            }
+        }
+        Ok(())
+    }
+
+    /// The Gram matrix `AᵀA` as CSR.
+    ///
+    /// Assembled row-by-row from the outer products of `A`'s rows, so the
+    /// cost is O(Σᵢ nnz(rowᵢ)²) triplets. That is O(nnz) for
+    /// bounded-row-degree inputs (incidence matrices, θ-spanner rows), but
+    /// a strategy with one dense row (the hierarchical root, the Haar
+    /// total row) makes `AᵀA` itself dense — for those, apply the normal
+    /// equations matrix-free via [`crate::solve_normal_equations`]
+    /// instead of materializing this product.
+    pub fn gram(&self) -> SparseMatrix {
+        let mut b = TripletBuilder::new(self.cols, self.cols);
+        for i in 0..self.rows {
+            for (j1, v1) in self.row(i) {
+                for (j2, v2) in self.row(i) {
+                    b.push(j1, j2, v1 * v2);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Per-column squared L2 norms — the diagonal of `AᵀA`, computed in
+    /// O(nnz) without materializing the Gram matrix. This is the Jacobi
+    /// preconditioner for normal-equation CG.
+    pub fn col_sq_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                norms[j] += v * v;
+            }
+        }
+        norms
+    }
+
+    /// Fraction of entries stored: `nnz / (rows * cols)` (0 for an empty
+    /// shape). The engine's plan-path chooser keys off this.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
     }
 
     /// Transpose as a new CSR matrix.
@@ -333,6 +454,53 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_are_summed_across_interleaved_pushes() {
+        // Pushes arrive out of order and interleaved with other
+        // coordinates (the incidence-assembly pattern: one triplet per
+        // edge endpoint, no pre-deduping).
+        let mut b = TripletBuilder::new(3, 3);
+        b.push(2, 1, 1.0);
+        b.push(0, 2, 4.0);
+        b.push(2, 1, 2.0);
+        b.push(1, 1, 7.0);
+        b.push(2, 1, 3.0);
+        b.push(0, 2, -1.0);
+        let m = b.build();
+        assert_eq!(m.get(2, 1), 6.0);
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.get(1, 1), 7.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn same_column_different_rows_never_merge() {
+        let mut b = TripletBuilder::new(3, 1);
+        b.push(0, 0, 1.0);
+        b.push(2, 0, 5.0);
+        let m = b.build();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        assert_eq!(m.get(2, 0), 5.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn exact_cancellation_drops_the_entry() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.5);
+        b.push(0, 0, -1.5);
+        b.push(1, 1, 2.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.row_nnz(0), 0);
+        // Canonical form: a cancelled build equals a never-pushed build.
+        let mut b2 = TripletBuilder::new(2, 2);
+        b2.push(1, 1, 2.0);
+        assert_eq!(m, b2.build());
+    }
+
+    #[test]
     fn matvec_and_transpose() {
         let m = small();
         let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
@@ -389,5 +557,49 @@ mod tests {
         let mut m = small();
         m.scale_mut(2.0);
         assert_eq!(m.get(2, 1), 8.0);
+    }
+
+    #[test]
+    fn matvec_into_matches_allocating_kernels() {
+        let m = small();
+        let x = [1.0, -2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        m.matvec_into(&x, &mut y).unwrap();
+        assert_eq!(y, m.matvec(&x).unwrap());
+        let mut yt = vec![7.0; 3]; // stale contents must be overwritten
+        m.matvec_transpose_into(&x, &mut yt).unwrap();
+        assert_eq!(yt, m.matvec_transpose(&x).unwrap());
+        assert!(m.matvec_into(&x, &mut [0.0; 2]).is_err());
+        assert!(m.matvec_transpose_into(&[1.0], &mut yt).is_err());
+    }
+
+    #[test]
+    fn gram_matches_dense_reference() {
+        let m = small();
+        let dense = m.to_dense();
+        let expected = dense.transpose().matmul(&dense).unwrap();
+        assert!(m.gram().to_dense().approx_eq(&expected, 1e-12));
+        // gram of a matrix with an empty row/col stays consistent.
+        let g = m.gram();
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 3);
+    }
+
+    #[test]
+    fn col_sq_norms_is_gram_diagonal() {
+        let m = small();
+        let g = m.gram();
+        let sq = m.col_sq_norms();
+        for (j, &s) in sq.iter().enumerate() {
+            assert!((g.get(j, j) - s).abs() < 1e-12);
+        }
+        assert_eq!(sq, vec![10.0, 16.0, 4.0]);
+    }
+
+    #[test]
+    fn density_reports_fill_fraction() {
+        assert_eq!(small().density(), 4.0 / 9.0);
+        assert_eq!(SparseMatrix::zeros(0, 5).density(), 0.0);
+        assert_eq!(SparseMatrix::identity(8).density(), 1.0 / 8.0);
     }
 }

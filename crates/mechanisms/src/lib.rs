@@ -12,6 +12,9 @@
 //!   mechanism witnessing the Theorem 4.4 negative result.
 //! * [`matrix`] — the matrix mechanism framework (Li et al. \[15\], Eq. 2)
 //!   with identity / hierarchical / wavelet strategy matrices.
+//! * [`sparse_matrix`] — the same framework over CSR strategies with the
+//!   pseudoinverse *applied* per release by matrix-free normal-equation
+//!   CG (O(nnz) memory; the k≈10⁵ planning path).
 //! * [`hierarchical`] — the Hay et al. \[10\] binary-tree estimator with
 //!   weighted least-squares consistency.
 //! * [`privelet`] — Privelet \[20\]: Haar wavelet noise in 1 and d
@@ -35,6 +38,7 @@ pub mod laplace;
 pub mod matrix;
 pub mod noise;
 pub mod privelet;
+pub mod sparse_matrix;
 
 pub use consistency::{
     consistent_prefix_estimate, isotonic_non_decreasing, isotonic_non_decreasing_with_floor,
@@ -53,6 +57,10 @@ pub use noise::{laplace, laplace_variance, laplace_vec, two_sided_geometric};
 pub use privelet::{
     haar_forward, haar_generalized_sensitivity, haar_inverse, haar_weights, privelet_histogram,
     privelet_histogram_1d, privelet_histogram_planned, privelet_range_error_order, HaarPlan,
+};
+pub use sparse_matrix::{
+    hierarchical_strategy_sparse, identity_strategy_sparse, wavelet_strategy_sparse, PinvApply,
+    SparseMatrixMechanism,
 };
 
 /// Errors reported by mechanism construction or execution.

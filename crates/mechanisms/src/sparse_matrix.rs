@@ -1,0 +1,457 @@
+//! The matrix mechanism over CSR strategies: apply `A⁺`, never store it.
+//!
+//! The dense [`MatrixMechanism`](crate::MatrixMechanism) materializes the
+//! k×k reconstruction `W A⁺`, which caps planning near k≈512: at
+//! k = 65 536 that object alone is 32 GiB. But every strategy the paper
+//! plans with — identity, binary hierarchical, Haar — is O(k log k)
+//! sparse, and for a full-column-rank strategy the pseudoinverse
+//! *application* factors as `A⁺ ỹ = (AᵀA)⁻¹ Aᵀ ỹ`: a normal-equation
+//! solve. [`SparseMatrixMechanism`] keeps `W` and `A` in CSR and runs one
+//! Jacobi-preconditioned CG solve per release
+//! ([`blowfish_linalg::solve_normal_equations`], matrix-free — `AᵀA` of a
+//! hierarchical strategy is dense and is never formed), so peak memory is
+//! O(nnz) and the domain ceiling lifts to k≈10⁵.
+//!
+//! The sparse strategy constructors ([`hierarchical_strategy_sparse`]
+//! et al.) emit *exactly* the rows of their dense counterparts, in the
+//! same order. That makes the two mechanisms draw identical Laplace noise
+//! from the same seed — so sparse and dense releases agree to solver
+//! tolerance (≤1e-9 relative with `tol = 1e-12`), which the equivalence
+//! tests pin.
+
+use rand::Rng;
+
+use blowfish_linalg::{
+    solve_gram_system, solve_normal_equations, CgOptions, LinalgError, PinvMethod, SparseMatrix,
+    TripletBuilder,
+};
+
+use blowfish_core::Epsilon;
+
+use crate::noise::{laplace_variance, laplace_vec};
+use crate::MechanismError;
+
+/// How a matrix mechanism applies the strategy pseudoinverse per release.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinvApply {
+    /// `W A⁺` was materialized dense up front (the k≲512 path); the tag
+    /// records which factorization derived it.
+    Materialized(PinvMethod),
+    /// `A⁺ ỹ` is computed per release by matrix-free normal-equation CG
+    /// (the O(nnz) path).
+    IterativeCg,
+}
+
+impl std::fmt::Display for PinvApply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinvApply::Materialized(m) => write!(f, "materialized ({m:?})"),
+            PinvApply::IterativeCg => write!(f, "iterative-cg"),
+        }
+    }
+}
+
+/// A matrix mechanism whose workload and strategy stay in CSR form and
+/// whose pseudoinverse is applied per release by preconditioned CG.
+///
+/// Requires the strategy to have full column rank (every strategy the
+/// engine plans with does) — that is what collapses the support condition
+/// `W A⁺ A = W` to the left-inverse identity `A⁺A = I`, verified here by
+/// seeded round-trip probes exactly as the dense path does.
+#[derive(Debug)]
+pub struct SparseMatrixMechanism {
+    w: SparseMatrix,
+    strategy: SparseMatrix,
+    delta_a: f64,
+    opts: CgOptions,
+    solves: std::sync::atomic::AtomicUsize,
+    cg_iterations: std::sync::atomic::AtomicUsize,
+}
+
+impl SparseMatrixMechanism {
+    /// Prepares the mechanism with the default solver options
+    /// (`tol = 1e-12`: releases agree with the dense reconstruction to
+    /// ≤1e-9 relative).
+    pub fn new(w: SparseMatrix, strategy: SparseMatrix) -> Result<Self, MechanismError> {
+        SparseMatrixMechanism::with_options(
+            w,
+            strategy,
+            CgOptions {
+                tol: 1e-12,
+                max_iter: 0,
+            },
+        )
+    }
+
+    /// Prepares the mechanism with explicit solver options, verifying
+    /// shapes, sensitivity, and the left-inverse identity `A⁺A v = v` on
+    /// seeded probes. A structurally or numerically column-rank-deficient
+    /// strategy is rejected as
+    /// [`MechanismError::StrategyDoesNotSupportWorkload`]; a solver that
+    /// runs out of iterations bubbles the typed
+    /// [`LinalgError::NoConvergence`].
+    pub fn with_options(
+        w: SparseMatrix,
+        strategy: SparseMatrix,
+        opts: CgOptions,
+    ) -> Result<Self, MechanismError> {
+        if w.cols() != strategy.cols() {
+            return Err(MechanismError::InvalidParameter {
+                what: "workload and strategy must share the domain size",
+            });
+        }
+        let delta_a = strategy.max_col_l1();
+        if delta_a <= 0.0 {
+            return Err(MechanismError::InvalidParameter {
+                what: "strategy has zero sensitivity (all-zero matrix)",
+            });
+        }
+        if !probe_round_trip_holds(&strategy, opts)? {
+            return Err(MechanismError::StrategyDoesNotSupportWorkload);
+        }
+        Ok(SparseMatrixMechanism {
+            w,
+            strategy,
+            delta_a,
+            opts,
+            solves: std::sync::atomic::AtomicUsize::new(0),
+            cg_iterations: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// The workload `W`.
+    pub fn workload(&self) -> &SparseMatrix {
+        &self.w
+    }
+
+    /// The strategy `A`.
+    pub fn strategy(&self) -> &SparseMatrix {
+        &self.strategy
+    }
+
+    /// The strategy sensitivity `Δ_A`.
+    pub fn delta_a(&self) -> f64 {
+        self.delta_a
+    }
+
+    /// How this mechanism applies `A⁺` (always [`PinvApply::IterativeCg`];
+    /// the accessor mirrors the dense mechanism's for uniform reporting).
+    pub fn apply_method(&self) -> PinvApply {
+        PinvApply::IterativeCg
+    }
+
+    /// Normal-equation solves performed so far (one per release plus the
+    /// construction probes).
+    pub fn solve_count(&self) -> usize {
+        self.solves.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total CG iterations across those solves — ~log₂ k per solve on
+    /// hierarchical strategies, the observable that makes per-release CG
+    /// affordable at k = 65 536.
+    pub fn cg_iterations(&self) -> usize {
+        self.cg_iterations
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn apply_pinv(&self, y: &[f64]) -> Result<Vec<f64>, MechanismError> {
+        let sol = solve_normal_equations(&self.strategy, y, self.opts).map_err(lift_rank_error)?;
+        self.solves
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.cg_iterations
+            .fetch_add(sol.iterations, std::sync::atomic::Ordering::Relaxed);
+        Ok(sol.x)
+    }
+
+    /// Runs the mechanism: `Wx + W A⁺ Lap(Δ_A/ε)^p`.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        x: &[f64],
+        eps: Epsilon,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, MechanismError> {
+        let truth = self.w.matvec(x)?;
+        let noise = self.noise_only(eps, rng)?;
+        Ok(truth.iter().zip(&noise).map(|(t, n)| t + n).collect())
+    }
+
+    /// Draws only the reconstructed noise vector `W A⁺ Lap(Δ_A/ε)^p`.
+    ///
+    /// The Laplace draw count and order match the dense mechanism's
+    /// (`strategy.rows()` samples), so from equal seeds the two paths
+    /// produce the same release up to solver tolerance.
+    pub fn noise_only<R: Rng + ?Sized>(
+        &self,
+        eps: Epsilon,
+        rng: &mut R,
+    ) -> Result<Vec<f64>, MechanismError> {
+        let scale = self.delta_a / eps.value();
+        let raw = laplace_vec(rng, scale, self.strategy.rows());
+        let z = self.apply_pinv(&raw)?;
+        Ok(self.w.matvec(&z)?)
+    }
+
+    /// Expected squared error of query `i`:
+    /// `2 (Δ_A/ε)² ‖A (AᵀA)⁻¹ wᵢ‖₂²` — one CG solve per call (the dense
+    /// path reads a precomputed row instead; use it when error reports
+    /// over large workloads dominate).
+    pub fn query_error(&self, i: usize, eps: Epsilon) -> Result<f64, MechanismError> {
+        let mut wi = vec![0.0; self.w.cols()];
+        for (j, v) in self.w.row(i) {
+            wi[j] = v;
+        }
+        let u = solve_gram_system(&self.strategy, &wi, self.opts).map_err(lift_rank_error)?;
+        let au = self.strategy.matvec(&u.x)?;
+        let sq: f64 = au.iter().map(|v| v * v).sum();
+        Ok(laplace_variance(self.delta_a / eps.value()) * sq)
+    }
+
+    /// Expected total squared error over all queries — `W.rows()` CG
+    /// solves; intended for offline reporting, not the serving path.
+    pub fn total_error(&self, eps: Epsilon) -> Result<f64, MechanismError> {
+        let mut acc = 0.0;
+        for i in 0..self.w.rows() {
+            acc += self.query_error(i, eps)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// A rank-deficient strategy surfaces from CG as `NotPositiveDefinite`;
+/// the mechanism layer reports that the same way the dense path reports a
+/// failed support check. Anything else (non-convergence, shapes) stays a
+/// typed linalg error.
+fn lift_rank_error(e: LinalgError) -> MechanismError {
+    match e {
+        LinalgError::NotPositiveDefinite { .. } => MechanismError::StrategyDoesNotSupportWorkload,
+        other => MechanismError::Linalg(other),
+    }
+}
+
+/// Verifies `A⁺A v = v` on seeded pseudo-random probes via round-trip
+/// solves, mirroring the dense path's `left_inverse_probe_holds` (same
+/// probe count, distribution, and tolerance rationale).
+fn probe_round_trip_holds(a: &SparseMatrix, opts: CgOptions) -> Result<bool, MechanismError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let n = a.cols();
+    let mut rng = StdRng::seed_from_u64(0x5EED_1DE4);
+    for _ in 0..3 {
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let av = a.matvec(&v)?;
+        let back = solve_normal_equations(a, &av, opts).map_err(lift_rank_error)?;
+        let scale = 1.0 + v.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+        if back
+            .x
+            .iter()
+            .zip(&v)
+            .any(|(b, x)| (b - x).abs() > 1e-8 * scale)
+        {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// The identity strategy `A = I_k` in CSR form.
+pub fn identity_strategy_sparse(k: usize) -> SparseMatrix {
+    SparseMatrix::identity(k)
+}
+
+/// The binary hierarchical strategy `H_k` in CSR form — row-for-row
+/// identical to [`crate::hierarchical_strategy`], at O(k log k) nonzeros
+/// instead of O(k²·log k) dense cells.
+pub fn hierarchical_strategy_sparse(k: usize) -> SparseMatrix {
+    let padded = k.next_power_of_two();
+    let mut triplets: Vec<(usize, usize)> = Vec::new();
+    let mut row = 0usize;
+    let mut size = padded;
+    loop {
+        let mut start = 0;
+        while start < padded {
+            let lo = start.min(k);
+            let hi = (start + size).min(k);
+            if lo < hi {
+                // Non-empty after clipping padding: this row exists.
+                for j in lo..hi {
+                    triplets.push((row, j));
+                }
+                row += 1;
+            }
+            start += size;
+        }
+        if size == 1 {
+            break;
+        }
+        size /= 2;
+    }
+    let mut b = TripletBuilder::new(row, k);
+    for (r, j) in triplets {
+        b.push(r, j, 1.0);
+    }
+    b.build()
+}
+
+/// The Haar wavelet strategy `Y_k` in CSR form — row-for-row identical to
+/// [`crate::wavelet_strategy`].
+pub fn wavelet_strategy_sparse(k: usize) -> SparseMatrix {
+    let padded = k.next_power_of_two();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    let mut row = 0usize;
+    // Total-average row.
+    for j in 0..k {
+        triplets.push((row, j, 1.0));
+    }
+    row += 1;
+    let mut size = padded;
+    while size >= 2 {
+        let half = size / 2;
+        let mut start = 0;
+        while start < padded {
+            let plo = start.min(k);
+            let phi = (start + half).min(k);
+            let nlo = (start + half).min(k);
+            let nhi = (start + size).min(k);
+            if plo < phi || nlo < nhi {
+                for j in plo..phi {
+                    triplets.push((row, j, 1.0));
+                }
+                for j in nlo..nhi {
+                    triplets.push((row, j, -1.0));
+                }
+                row += 1;
+            }
+            start += size;
+        }
+        size /= 2;
+    }
+    let mut b = TripletBuilder::new(row, k);
+    for (r, j, v) in triplets {
+        b.push(r, j, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{hierarchical_strategy, identity_strategy, wavelet_strategy};
+    use crate::MatrixMechanism;
+    use blowfish_core::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sparse_strategies_match_dense_row_for_row() {
+        for k in [1, 2, 3, 5, 6, 7, 8, 13, 16, 21, 32, 37] {
+            let hd = hierarchical_strategy(k);
+            let hs = hierarchical_strategy_sparse(k);
+            assert_eq!(hs.rows(), hd.rows(), "hierarchical rows at k={k}");
+            assert!(
+                hs.to_dense().approx_eq(&hd, 0.0),
+                "hierarchical mismatch at k={k}"
+            );
+            let wd = wavelet_strategy(k);
+            let ws = wavelet_strategy_sparse(k);
+            assert_eq!(ws.rows(), wd.rows(), "wavelet rows at k={k}");
+            assert!(
+                ws.to_dense().approx_eq(&wd, 0.0),
+                "wavelet mismatch at k={k}"
+            );
+            assert!(identity_strategy_sparse(k)
+                .to_dense()
+                .approx_eq(&identity_strategy(k), 0.0));
+        }
+    }
+
+    #[test]
+    fn hierarchical_sparse_is_k_log_k() {
+        let k = 1024;
+        let h = hierarchical_strategy_sparse(k);
+        // Each of the k columns appears once per level: height = log2(k)+1.
+        assert_eq!(h.nnz(), k * 11);
+        assert_eq!(h.max_col_l1(), 11.0);
+    }
+
+    #[test]
+    fn sparse_release_matches_dense_release_from_equal_seeds() {
+        let eps = Epsilon::new(0.7).unwrap();
+        for k in [8usize, 16, 30] {
+            let w = Workload::all_ranges_1d(k);
+            let dense =
+                MatrixMechanism::new(w.to_dense_matrix(), hierarchical_strategy(k)).unwrap();
+            let sparse =
+                SparseMatrixMechanism::new(w.to_sparse_matrix(), hierarchical_strategy_sparse(k))
+                    .unwrap();
+            let x: Vec<f64> = (0..k).map(|i| (i * 3 % 7) as f64).collect();
+            let rd = dense.run(&x, eps, &mut StdRng::seed_from_u64(42)).unwrap();
+            let rs = sparse.run(&x, eps, &mut StdRng::seed_from_u64(42)).unwrap();
+            for (d, s) in rd.iter().zip(&rs) {
+                assert!((d - s).abs() <= 1e-9 * (1.0 + d.abs()), "k={k}: {d} vs {s}");
+            }
+            assert_eq!(sparse.apply_method(), PinvApply::IterativeCg);
+            assert!(sparse.solve_count() >= 1);
+            // Clustered spectrum: the release solve stays ~log k iterations.
+            assert!(sparse.cg_iterations() <= 30 * sparse.solve_count());
+        }
+    }
+
+    #[test]
+    fn sparse_error_formulas_match_dense() {
+        let k = 16;
+        let eps = Epsilon::new(1.0).unwrap();
+        let w = Workload::all_ranges_1d(k);
+        let dense = MatrixMechanism::new(w.to_dense_matrix(), hierarchical_strategy(k)).unwrap();
+        let sparse =
+            SparseMatrixMechanism::new(w.to_sparse_matrix(), hierarchical_strategy_sparse(k))
+                .unwrap();
+        for i in [0usize, 3, w.len() - 1] {
+            let d = dense.query_error(i, eps);
+            let s = sparse.query_error(i, eps).unwrap();
+            assert!((d - s).abs() <= 1e-8 * (1.0 + d), "query {i}: {d} vs {s}");
+        }
+        let dt = dense.total_error(eps);
+        let st = sparse.total_error(eps).unwrap();
+        assert!((dt - st).abs() <= 1e-7 * (1.0 + dt), "{dt} vs {st}");
+    }
+
+    #[test]
+    fn rank_deficient_strategy_is_rejected_typed() {
+        // A strategy with an empty column cannot left-invert.
+        let mut b = TripletBuilder::new(2, 3);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let a = b.build();
+        let res = SparseMatrixMechanism::new(SparseMatrix::identity(3), a);
+        assert!(matches!(
+            res,
+            Err(MechanismError::StrategyDoesNotSupportWorkload)
+        ));
+        // Duplicated column: numerically rank deficient, same rejection.
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let res = SparseMatrixMechanism::new(SparseMatrix::identity(2), b.build());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn shape_and_sensitivity_validation() {
+        let a = identity_strategy_sparse(4);
+        assert!(matches!(
+            SparseMatrixMechanism::new(SparseMatrix::identity(3), a.clone()),
+            Err(MechanismError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            SparseMatrixMechanism::new(SparseMatrix::identity(4), SparseMatrix::zeros(2, 4)),
+            Err(MechanismError::InvalidParameter { .. })
+        ));
+        let mm = SparseMatrixMechanism::new(SparseMatrix::identity(4), a).unwrap();
+        assert_eq!(mm.delta_a(), 1.0);
+        assert_eq!(mm.workload().rows(), 4);
+        assert_eq!(mm.strategy().cols(), 4);
+        assert!(mm.apply_method().to_string().contains("cg"));
+    }
+}

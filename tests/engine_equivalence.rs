@@ -7,6 +7,7 @@
 //! answer ranges exactly like `answer_ranges_*` on the raw histogram).
 
 use blowfish_privacy::prelude::*;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -204,6 +205,49 @@ fn estimates_answer_like_the_answering_helpers() {
         est2.answer_all(&specs2).unwrap(),
         answer_ranges_2d(est2.histogram(), 16, 16, &specs2).unwrap()
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sparse matrix-mechanism path (CSR strategy + CG pseudoinverse
+    /// application) must reproduce the dense materialized-A⁺ path to
+    /// ≤1e-9 relative, for every strategy kind, any domain size, and any
+    /// seed. Transformational equivalence makes this checkable: both
+    /// paths draw the identical Laplace vector from the same seed, so
+    /// the only divergence left is the solver.
+    #[test]
+    fn matrix_hist_sparse_and_dense_paths_agree(
+        k in 2usize..160,
+        kind_ix in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let kind = [
+            MatrixStrategyKind::Identity,
+            MatrixStrategyKind::Hierarchical,
+            MatrixStrategyKind::Wavelet,
+        ][kind_ix];
+        let spec = MechanismSpec::MatrixHist { strategy: kind };
+        let x = db_1d(k);
+        let eps = Epsilon::new(0.4).unwrap();
+        let graph = PolicyGraph::line(k).unwrap();
+
+        let dense_session = Session::new(&graph, eps).unwrap();
+        dense_session.cache().set_matrix_mode(MatrixPathMode::ForceDense);
+        let sparse_session = Session::new(&graph, eps).unwrap();
+        sparse_session.cache().set_matrix_mode(MatrixPathMode::ForceSparse);
+
+        let dense = fit_via_engine(&dense_session, &spec, &x, eps, seed);
+        let sparse = fit_via_engine(&sparse_session, &spec, &x, eps, seed);
+        prop_assert_eq!(dense_session.cache().stats().pseudoinverse_builds(), 1);
+        prop_assert_eq!(sparse_session.cache().stats().sparse_matrix_builds(), 1);
+        for (d, s) in dense.iter().zip(&sparse) {
+            prop_assert!(
+                (d - s).abs() <= 1e-9 * (1.0 + d.abs()),
+                "k={} kind={:?} seed={}: {} vs {}", k, kind, seed, d, s
+            );
+        }
+    }
 }
 
 #[test]

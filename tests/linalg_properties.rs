@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use blowfish_privacy::linalg::{
     conjugate_gradient, eigh, is_pseudoinverse, jacobi_eigh, pseudoinverse, pseudoinverse_eigen,
-    pseudoinverse_with_method, singular_values, CgOptions, Cholesky, Lu, Matrix, PinvMethod,
-    SparseMatrix, TripletBuilder,
+    pseudoinverse_with_method, singular_values, solve_normal_equations, CgOptions, Cholesky, Lu,
+    Matrix, PinvMethod, SparseMatrix, TripletBuilder,
 };
 
 fn matrix_from(data: &[f64], n: usize, m: usize) -> Matrix {
@@ -213,5 +213,102 @@ proptest! {
         let dense = ad.matmul(&bd).unwrap();
         let sparse = asp.matmul(&bsp).unwrap().to_dense();
         prop_assert!(sparse.approx_eq(&dense, 1e-9));
+    }
+
+    /// Sparse matmul agrees with dense matmul across random shapes, not
+    /// just one fixed 3×4 instance.
+    #[test]
+    fn sparse_dense_matmul_agree_random_shapes(
+        data in vec(-2.0f64..2.0, 128),
+        m in 1usize..7,
+        k in 1usize..7,
+        p in 1usize..7,
+    ) {
+        let ad = matrix_from(&data, m, k);
+        let bd = matrix_from(&data[m * k..], k, p);
+        let dense = ad.matmul(&bd).unwrap();
+        let sparse = SparseMatrix::from_dense(&ad)
+            .matmul(&SparseMatrix::from_dense(&bd))
+            .unwrap()
+            .to_dense();
+        prop_assert!(sparse.approx_eq(&dense, 1e-9));
+    }
+
+    /// Sparse `gram` (AᵀA as CSR) and `col_sq_norms` (its diagonal) agree
+    /// with the dense gram kernel, pinning the CSR assembly the same way
+    /// `gram_kernels_match_naive_reference` pins the dense one.
+    #[test]
+    fn sparse_gram_matches_dense_reference(
+        data in vec(-2.0f64..2.0, 48),
+        rows in 1usize..9,
+    ) {
+        let cols = (48 / rows.max(1)).clamp(1, 8);
+        let a = matrix_from(&data, rows, cols);
+        let sp = SparseMatrix::from_dense(&a);
+        prop_assert!(sp.gram().to_dense().approx_eq(&a.gram(), 1e-9));
+        let diag = sp.col_sq_norms();
+        let dense_gram = a.gram();
+        for (j, d) in diag.iter().enumerate() {
+            prop_assert!((d - dense_gram[(j, j)]).abs() < 1e-9);
+        }
+    }
+
+    /// Sparse `matvec` / `matvec_transpose` (and their `_into` variants)
+    /// agree with dense products.
+    #[test]
+    fn sparse_matvec_transpose_matches_dense(
+        data in vec(-2.0f64..2.0, 42),
+        rows in 1usize..7,
+        x in vec(-3.0f64..3.0, 7),
+    ) {
+        let cols = (42 / rows.max(1)).clamp(1, 6);
+        let a = matrix_from(&data, rows, cols);
+        let sp = SparseMatrix::from_dense(&a);
+        let yd = a.matvec(&x[..cols]).unwrap();
+        let ys = sp.matvec(&x[..cols]).unwrap();
+        let mut yi = vec![0.0; rows];
+        sp.matvec_into(&x[..cols], &mut yi).unwrap();
+        for i in 0..rows {
+            prop_assert!((yd[i] - ys[i]).abs() < 1e-9);
+            prop_assert!(ys[i] == yi[i]);
+        }
+        let td = a.transpose().matvec(&x[..rows]).unwrap();
+        let ts = sp.matvec_transpose(&x[..rows]).unwrap();
+        let mut ti = vec![0.0; cols];
+        sp.matvec_transpose_into(&x[..rows], &mut ti).unwrap();
+        for j in 0..cols {
+            prop_assert!((td[j] - ts[j]).abs() < 1e-9);
+            prop_assert!(ts[j] == ti[j]);
+        }
+    }
+
+    /// Matrix-free normal-equation CG agrees with a dense Cholesky solve
+    /// of `AᵀA x = Aᵀy` to ≤1e-9 on full-column-rank strategies.
+    #[test]
+    fn cg_normal_equations_match_cholesky(
+        data in vec(-1.0f64..1.0, 40),
+        rows in 5usize..9,
+        y in vec(-4.0f64..4.0, 8),
+    ) {
+        let cols = 40 / 8; // 5 columns; rows 5..9 keeps A tall
+        let mut a = matrix_from(&data, rows, cols);
+        // Diagonal boost: full column rank, well conditioned, so the two
+        // paths are comparable at 1e-9.
+        for i in 0..cols {
+            a[(i, i)] += 3.0;
+        }
+        let sp = SparseMatrix::from_dense(&a);
+        let sol = solve_normal_equations(
+            &sp,
+            &y[..rows],
+            CgOptions { tol: 1e-12, max_iter: 0 },
+        )
+        .unwrap();
+        let ch = Cholesky::factor(&a.gram()).unwrap();
+        let aty = a.transpose().matvec(&y[..rows]).unwrap();
+        let direct = ch.solve(&aty).unwrap();
+        for (u, v) in sol.x.iter().zip(&direct) {
+            prop_assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
     }
 }
