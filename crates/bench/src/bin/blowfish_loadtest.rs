@@ -12,8 +12,10 @@
 //!
 //! ```text
 //! blowfish_loadtest [--scenario NAME] [--connections N] [--seed N]
-//!                   [--requests N] [--connect ADDR] [--out FILE]
-//!                   [--snapshot FILE] [--list]
+//!                   [--requests N] [--connect ADDR] [--net-model M]
+//!                   [--out FILE] [--snapshot FILE] [--list]
+//! blowfish_loadtest --idle N [--net-model M] [--probes N] [--dwell-ms N]
+//!                   [--out FILE] [--snapshot FILE]
 //! blowfish_loadtest --ping ADDR     # banner handshake check, exit 0/1
 //! blowfish_loadtest --client ADDR   # stdin → socket, replies → stdout
 //! ```
@@ -23,11 +25,20 @@
 //!   `grid-hotkey` scenario are the CI pair);
 //! * `--connections N` — concurrent client sockets, all held open
 //!   simultaneously (default 64);
+//! * `--net-model reactor|threads` — serving model for the in-process
+//!   server (default: the platform default, reactor on Linux);
+//! * `--idle N` — instead of a trace replay, run the mostly-idle
+//!   connection-scaling test: N silent connections held open while
+//!   `--probes` requests measure latency through them; asserts the
+//!   server's thread count stays ≤ 2 × cores (`/proc/self/status`) and
+//!   that the silent dwell (`--dwell-ms`, default 1000) moves the
+//!   reactor's spurious-wakeup counter by exactly zero;
 //! * `--connect ADDR` — target an already running server instead of the
 //!   in-process one;
 //! * `--out FILE` — write the full JSON report;
 //! * `--snapshot FILE` — write the `bench_gate`-consumable
-//!   `net-<scenario>/<metric>` tail-latency snapshot;
+//!   `net-<scenario>/<metric>` (or `net-idle-<model>/<metric>`)
+//!   tail-latency snapshot;
 //! * `--ping ADDR` — one connection, banner verified, nothing sent:
 //!   readiness probe for scripted CI startup;
 //! * `--client ADDR` — minimal interactive client: banner to stderr,
@@ -37,8 +48,10 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
-use blowfish_bench::simulate::{run_load, LoadReport, Scenario};
+use blowfish_bench::simulate::{run_idle, run_load, IdleReport, LoadReport, Scenario};
+use blowfish_engine::NetModel;
 
 fn main() {
     std::process::exit(real_main());
@@ -53,6 +66,10 @@ fn real_main() -> i32 {
     let mut connect: Option<String> = None;
     let mut out: Option<String> = None;
     let mut snapshot: Option<String> = None;
+    let mut model = NetModel::platform_default();
+    let mut idle: Option<usize> = None;
+    let mut probes = 200usize;
+    let mut dwell = Duration::from_millis(1000);
 
     let mut i = 0;
     while i < args.len() {
@@ -105,6 +122,34 @@ fn real_main() -> i32 {
                 }
                 None => return usage("--requests needs an integer"),
             },
+            "--net-model" => match value(i).and_then(|v| NetModel::parse(&v)) {
+                Some(v) => {
+                    model = v;
+                    i += 1;
+                }
+                None => return usage("--net-model must be reactor or threads"),
+            },
+            "--idle" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    idle = Some(v);
+                    i += 1;
+                }
+                None => return usage("--idle needs a connection count"),
+            },
+            "--probes" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    probes = v;
+                    i += 1;
+                }
+                None => return usage("--probes needs an integer"),
+            },
+            "--dwell-ms" => match value(i).and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    dwell = Duration::from_millis(v);
+                    i += 1;
+                }
+                None => return usage("--dwell-ms needs an integer"),
+            },
             "--connect" => match value(i) {
                 Some(addr) => {
                     connect = Some(addr);
@@ -131,6 +176,10 @@ fn real_main() -> i32 {
         i += 1;
     }
 
+    if let Some(connections) = idle {
+        return run_idle_mode(connections, model, probes, dwell, out, snapshot);
+    }
+
     let mut scenario = match Scenario::find(&scenario_name) {
         Some(s) => s,
         None => {
@@ -145,7 +194,7 @@ fn real_main() -> i32 {
         scenario.requests = requests;
     }
 
-    let report = match run_load(&scenario, connections, connect.as_deref()) {
+    let report = match run_load(&scenario, connections, connect.as_deref(), model) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("{scenario_name}: load test could not run: {e}");
@@ -179,10 +228,84 @@ fn real_main() -> i32 {
 fn usage(problem: &str) -> i32 {
     eprintln!(
         "{problem}\nusage: blowfish_loadtest [--scenario NAME] [--connections N] \
-         [--seed N] [--requests N] [--connect ADDR] [--out FILE] [--snapshot FILE] \
-         [--list] | --ping ADDR | --client ADDR"
+         [--seed N] [--requests N] [--connect ADDR] [--net-model reactor|threads] \
+         [--out FILE] [--snapshot FILE] [--list] \
+         | --idle N [--probes N] [--dwell-ms N] | --ping ADDR | --client ADDR"
     );
     2
+}
+
+/// `--idle N`: the mostly-idle connection-scaling mode.
+fn run_idle_mode(
+    connections: usize,
+    model: NetModel,
+    probes: usize,
+    dwell: Duration,
+    out: Option<String>,
+    snapshot: Option<String>,
+) -> i32 {
+    let report = match run_idle(connections, model, probes, dwell) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("idle test could not run: {e}");
+            return 2;
+        }
+    };
+    print_idle_summary(&report);
+    if let Some(file) = &out {
+        if let Err(e) = std::fs::write(file, report.to_json()) {
+            eprintln!("could not write {file}: {e}");
+            return 2;
+        }
+        println!("  full report written to {file}");
+    }
+    if let Some(file) = &snapshot {
+        if let Err(e) = std::fs::write(file, report.snapshot_json()) {
+            eprintln!("could not write {file}: {e}");
+            return 2;
+        }
+        println!("  snapshot written to {file}");
+    }
+    if report.passed() {
+        println!("\nPASS: idle connections cost no threads and no wakeups");
+        0
+    } else {
+        eprintln!("\nFAIL: {} violation(s)", report.violations.len());
+        1
+    }
+}
+
+fn print_idle_summary(report: &IdleReport) {
+    println!(
+        "=== idle scaling test — {} silent connections, model {} — {}",
+        report.connections,
+        report.model.label(),
+        if report.passed() { "PASS" } else { "FAIL" }
+    );
+    match report.server_threads {
+        Some(threads) => println!(
+            "  server threads {} (bound 2 × {} cores = {}), {:.3} threads/kconn",
+            threads,
+            report.cores,
+            2 * report.cores,
+            report.threads_per_kconn().unwrap_or(0.0),
+        ),
+        None => println!("  server thread census unavailable on this platform"),
+    }
+    println!(
+        "  spurious wakeups over dwell: {}, live at peak: {}",
+        report.spurious_delta, report.live_reported
+    );
+    println!(
+        "  probe latency p50 {:.1} µs, p95 {:.1} µs, p99 {:.1} µs, mean {:.1} µs",
+        report.timing.p50_latency_ns as f64 / 1e3,
+        report.timing.p95_latency_ns as f64 / 1e3,
+        report.timing.p99_latency_ns as f64 / 1e3,
+        report.timing.mean_latency_ns / 1e3,
+    );
+    for v in &report.violations {
+        println!("  VIOLATION: {v}");
+    }
 }
 
 /// Readiness probe: succeed iff the server answers with the protocol

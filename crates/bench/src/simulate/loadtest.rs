@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 
 use blowfish_core::overdraw_slack;
 use blowfish_engine::wire::{self, Codec};
-use blowfish_engine::{NetConfig, Request, Service, TcpServer};
+use blowfish_engine::{NetConfig, NetModel, Request, Service, TcpServer};
 
 use crate::report::snapshot::JsonValue;
 use crate::simulate::scenario::{PolicyFamily, Scenario};
@@ -59,12 +59,12 @@ use crate::simulate::trace::generate;
 const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// Maximum in-flight (connected but not yet banner-acknowledged) client
-/// handshakes during ramp-up. A thousand-connection burst fired all at
-/// once overflows the listener's SYN backlog (std hardcodes 128) and
-/// trips the kernel's SYN-flood defenses; pacing the storm to stay under
-/// the backlog keeps every handshake clean while the barrier still
-/// guarantees all connections are simultaneously open before the first
-/// request is written.
+/// handshakes during ramp-up against an **external** server whose listen
+/// backlog we do not control (std's `TcpListener::bind` hardcodes 128; a
+/// thousand-connection burst overflowing it trips the kernel's SYN-flood
+/// defenses). In-process servers are bound with
+/// [`NetConfig::listen_backlog`] sized past the whole burst, so their
+/// ramp is unpaced — every client connects at once.
 const CONNECT_WINDOW: usize = 64;
 
 /// Failures of the harness itself (the run not starting), as opposed to
@@ -138,6 +138,11 @@ pub struct LoadTenantScore {
 pub struct LoadReport {
     /// Scenario the trace came from.
     pub scenario: String,
+    /// Serving model the in-process server ran under (the effective one:
+    /// a reactor request degrades to threads off Linux). External servers
+    /// report whatever model was requested — the harness cannot see
+    /// theirs.
+    pub model: NetModel,
     /// Trace seed.
     pub seed: u64,
     /// Concurrent client connections held open for the whole run.
@@ -192,6 +197,10 @@ impl LoadReport {
                 JsonValue::Str("blowfish-loadtest/v1".into()),
             ),
             ("scenario".into(), JsonValue::Str(self.scenario.clone())),
+            (
+                "model".into(),
+                JsonValue::Str(self.model.label().to_string()),
+            ),
             ("seed".into(), JsonValue::Str(self.seed.to_string())),
             ("connections".into(), count(self.connections)),
             ("requests".into(), count(self.requests)),
@@ -319,11 +328,14 @@ struct WorkerOutcome {
 
 /// Runs the load test: `connections` concurrent clients replaying
 /// `scenario`'s trace against an in-process loopback server (default) or
-/// an externally started `blowfish-serve --tcp` at `external`.
+/// an externally started `blowfish-serve --tcp` at `external`, under the
+/// requested serving `model` (in-process runs; an external server's
+/// model is its own).
 pub fn run_load(
     scenario: &Scenario,
     connections: usize,
     external: Option<&str>,
+    model: NetModel,
 ) -> Result<LoadReport, LoadError> {
     if connections == 0 {
         return Err(LoadError::Setup("need at least one connection".into()));
@@ -332,7 +344,8 @@ pub fn run_load(
 
     // In-process server (unless pointed at an external one). The cap
     // leaves headroom for the setup connection only — a sized run must
-    // shed nothing.
+    // shed nothing — and the listen backlog covers the whole unpaced
+    // connect burst.
     let mut server = match external {
         Some(_) => None,
         None => Some(
@@ -342,15 +355,27 @@ pub fn run_load(
                 NetConfig {
                     max_connections: connections + 1,
                     idle_timeout: Duration::from_secs(600),
+                    listen_backlog: connections + CONNECT_WINDOW,
+                    model,
                 },
             )
             .map_err(LoadError::Io)?,
         ),
     };
+    let model = match &server {
+        Some(server) => server.model(),
+        None => model,
+    };
     let addr = match (external, &server) {
         (Some(addr), _) => addr.to_string(),
         (None, Some(server)) => server.local_addr().to_string(),
         (None, None) => unreachable!(),
+    };
+    // External servers keep the paced handshake ramp (their backlog is
+    // unknown); in-process ones absorb the burst in the kernel queue.
+    let connect_window = match external {
+        Some(_) => CONNECT_WINDOW,
+        None => connections.max(CONNECT_WINDOW),
     };
 
     // Setup connection: onboard the tenant population over the wire
@@ -424,7 +449,17 @@ pub fn run_load(
             std::thread::Builder::new()
                 .name(format!("load-client-{c}"))
                 .stack_size(256 * 1024)
-                .spawn(move || client_worker(&addr, c, batch, tenant_count, &barrier, &connected))
+                .spawn(move || {
+                    client_worker(
+                        &addr,
+                        c,
+                        batch,
+                        tenant_count,
+                        &barrier,
+                        &connected,
+                        connect_window,
+                    )
+                })
                 .map_err(LoadError::Io)?,
         );
     }
@@ -578,6 +613,7 @@ pub fn run_load(
 
     Ok(LoadReport {
         scenario: scenario.name.clone(),
+        model,
         seed: trace.seed,
         connections,
         requests: trace.requests.len(),
@@ -587,6 +623,338 @@ pub fn run_load(
         violations,
         timing: SimTiming::from_latencies(wall_ns, &mut latencies),
     })
+}
+
+/// The outcome of one mostly-idle connection-scaling run
+/// ([`run_idle`]): thousands of open-but-silent connections, a handful
+/// of probe requests measuring latency under that load, and the
+/// reactor's own counters proving the idle mass costs neither threads
+/// nor wakeups.
+#[derive(Clone, Debug)]
+pub struct IdleReport {
+    /// Serving model actually in effect.
+    pub model: NetModel,
+    /// Idle connections held open for the whole run (the probe
+    /// connection is extra).
+    pub connections: usize,
+    /// Available cores at run time (the thread bound is `2 × cores`).
+    pub cores: usize,
+    /// Server-side thread count (acceptor + event loops), measured as
+    /// the `/proc/self/status` `Threads:` delta across server startup;
+    /// `None` where that interface does not exist.
+    pub server_threads: Option<usize>,
+    /// Growth of the reactor's spurious-wakeup counter over the idle
+    /// dwell — must be zero: silent connections generate no events.
+    pub spurious_delta: u64,
+    /// Live connections the server reported at peak.
+    pub live_reported: u64,
+    /// Probe-measured request latency while the idle mass was open.
+    pub timing: SimTiming,
+    /// Every violation, in detection order; empty means the run passed.
+    pub violations: Vec<String>,
+}
+
+impl IdleReport {
+    /// Whether every gate held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Server threads per thousand connections (the gateable inverse of
+    /// conns-per-thread: `bench_gate` fails on increases, and a scaling
+    /// regression — more threads for the same connection count — is an
+    /// increase here). `None` when the thread count could not be
+    /// measured.
+    pub fn threads_per_kconn(&self) -> Option<f64> {
+        self.server_threads
+            .map(|t| t as f64 * 1000.0 / self.connections as f64)
+    }
+
+    /// Full machine-readable report.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("schema".into(), JsonValue::Str("blowfish-idle/v1".into())),
+            (
+                "model".into(),
+                JsonValue::Str(self.model.label().to_string()),
+            ),
+            (
+                "connections".into(),
+                JsonValue::Num(self.connections as f64),
+            ),
+            ("cores".into(), JsonValue::Num(self.cores as f64)),
+            (
+                "server_threads".into(),
+                match self.server_threads {
+                    Some(t) => JsonValue::Num(t as f64),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "spurious_delta".into(),
+                JsonValue::Num(self.spurious_delta as f64),
+            ),
+            (
+                "live_reported".into(),
+                JsonValue::Num(self.live_reported as f64),
+            ),
+            (
+                "violations".into(),
+                JsonValue::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| JsonValue::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_pretty()
+    }
+
+    /// A `bench_gate`-consumable snapshot under `net-idle-<model>/…`
+    /// keys: probe tail latencies plus `threads_per_kconn` (gate the
+    /// latter with `--min-ns 0` — it is a ratio far below the gate's
+    /// default small-baseline skip).
+    pub fn snapshot_json(&self) -> String {
+        let group = format!("net-idle-{}", self.model.label());
+        let t = &self.timing;
+        let mut results = vec![
+            (
+                format!("{group}/p50_latency_ns"),
+                JsonValue::Num(t.p50_latency_ns as f64),
+            ),
+            (
+                format!("{group}/p95_latency_ns"),
+                JsonValue::Num(t.p95_latency_ns as f64),
+            ),
+            (
+                format!("{group}/p99_latency_ns"),
+                JsonValue::Num(t.p99_latency_ns as f64),
+            ),
+            (
+                format!("{group}/mean_latency_ns"),
+                JsonValue::Num(t.mean_latency_ns),
+            ),
+        ];
+        if let Some(ratio) = self.threads_per_kconn() {
+            results.push((format!("{group}/threads_per_kconn"), JsonValue::Num(ratio)));
+        }
+        JsonValue::Obj(vec![
+            (
+                "schema".into(),
+                JsonValue::Str("blowfish-net-snapshot/v1".into()),
+            ),
+            (
+                "scenario".into(),
+                JsonValue::Str(format!("idle-{}", self.model.label())),
+            ),
+            (
+                "connections".into(),
+                JsonValue::Num(self.connections as f64),
+            ),
+            ("results_ns".into(), JsonValue::Obj(results)),
+        ])
+        .to_pretty()
+    }
+}
+
+/// Runs the mostly-idle connection-scaling test against an in-process
+/// server: open `connections` sockets, leave them all silent, and prove
+/// the idle mass is cheap — server thread count stays ≤ 2 × cores
+/// (measured via `/proc/self/status`, the tentpole property a
+/// thread-per-connection model cannot satisfy), the reactor's
+/// spurious-wakeup counter does not move during a `dwell` of silence,
+/// and `probes` probe requests served *through* the idle mass come back
+/// correct with sane latency.
+pub fn run_idle(
+    connections: usize,
+    model: NetModel,
+    probes: usize,
+    dwell: Duration,
+) -> Result<IdleReport, LoadError> {
+    if connections == 0 || probes == 0 {
+        return Err(LoadError::Setup(
+            "need at least one connection and one probe".into(),
+        ));
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let threads_before = proc_thread_count();
+    let mut server = TcpServer::bind(
+        Arc::new(Service::new()),
+        "127.0.0.1:0",
+        NetConfig {
+            max_connections: connections + 2,
+            idle_timeout: Duration::from_secs(600),
+            listen_backlog: connections + CONNECT_WINDOW,
+            model,
+        },
+    )
+    .map_err(LoadError::Io)?;
+    let model = server.model();
+    let addr = server.local_addr().to_string();
+    let mut violations = Vec::new();
+
+    // The idle mass: one fd per connection (no reader clones — fd budget
+    // matters at this scale), banner consumed so each is fully admitted.
+    let mut idle_conns = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let stream = TcpStream::connect(&addr).map_err(LoadError::Io)?;
+        stream
+            .set_read_timeout(Some(REPLY_TIMEOUT))
+            .map_err(LoadError::Io)?;
+        let mut stream = stream;
+        let banner = read_line_raw(&mut stream).map_err(LoadError::Io)?;
+        if !banner.starts_with("ok blowfish/1") {
+            return Err(LoadError::Setup(format!(
+                "idle connection {i} got banner: {banner}"
+            )));
+        }
+        idle_conns.push(stream);
+    }
+
+    // Thread census with the full connection count open: under the
+    // reactor this is acceptor + O(cores) event loops, regardless of
+    // `connections`.
+    let threads_with_load = proc_thread_count();
+    let server_threads = match (threads_before, threads_with_load) {
+        (Some(before), Some(with)) => Some(with.saturating_sub(before)),
+        _ => None,
+    };
+    if model == NetModel::Reactor {
+        if let Some(server_threads) = server_threads {
+            if server_threads > 2 * cores {
+                violations.push(format!(
+                    "{server_threads} server threads for {connections} idle connections \
+                     exceeds the 2 × cores = {} bound",
+                    2 * cores
+                ));
+            }
+        }
+    }
+
+    // Counter baseline, then the silent dwell: no idle connection may
+    // cost a single readiness event.
+    let mut probe = connect(&addr)?;
+    let before = net_stats(&mut probe)?;
+    std::thread::sleep(dwell);
+    let after = net_stats(&mut probe)?;
+    let spurious_delta =
+        (after.spurious_wakeups as i64 - before.spurious_wakeups as i64).max(0) as u64;
+    if model == NetModel::Reactor && spurious_delta != 0 {
+        violations.push(format!(
+            "{spurious_delta} spurious wakeups during {dwell:?} of silence \
+             across {connections} idle connections"
+        ));
+    }
+    let live_reported = after.live;
+    if live_reported != (connections + 1) as u64 {
+        violations.push(format!(
+            "server reports {live_reported} live connections, \
+             {connections} idle + 1 probe are open"
+        ));
+    }
+
+    // Probe latency through the idle mass.
+    let mut latencies = Vec::with_capacity(probes);
+    let started = Instant::now();
+    for _ in 0..probes {
+        let sent = Instant::now();
+        let reply = roundtrip(&mut probe, "help")?;
+        if !reply.starts_with("ok help blowfish/1") {
+            violations.push(format!("probe got unexpected reply: {reply}"));
+            break;
+        }
+        latencies.push(sent.elapsed().as_nanos() as u64);
+    }
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    let shed = server.stats().shed.load(Ordering::SeqCst);
+    if shed > 0 {
+        violations.push(format!(
+            "server shed {shed} connections under the sized cap"
+        ));
+    }
+    let _ = probe.stream.write_all(b"quit\n");
+    drop(probe);
+    drop(idle_conns);
+    if !server.shutdown(Duration::from_secs(30)) {
+        violations.push("server failed to drain within the shutdown budget".into());
+    }
+
+    Ok(IdleReport {
+        model,
+        connections,
+        cores,
+        server_threads,
+        spurious_delta,
+        live_reported,
+        timing: SimTiming::from_latencies(wall_ns, &mut latencies),
+        violations,
+    })
+}
+
+/// The `Threads:` row of `/proc/self/status` (`None` off Linux or on
+/// parse failure).
+fn proc_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// The reactor-visible counters a `stats net` reply carries.
+#[derive(Clone, Copy, Debug, Default)]
+struct NetCounters {
+    live: u64,
+    spurious_wakeups: u64,
+}
+
+/// Issues `stats net` on `client` and parses the counters out of the
+/// `ok stats net model=… k=v …` reply.
+fn net_stats(client: &mut Client) -> Result<NetCounters, LoadError> {
+    let reply = roundtrip(client, "stats net")?;
+    if !reply.starts_with("ok stats net ") {
+        return Err(LoadError::Setup(format!(
+            "unexpected stats net reply: {reply}"
+        )));
+    }
+    let mut counters = NetCounters::default();
+    let mut seen = 0;
+    for field in reply.split(' ') {
+        if let Some(v) = field.strip_prefix("live=") {
+            counters.live = v.parse().map_err(|_| bad_counter(&reply))?;
+            seen += 1;
+        } else if let Some(v) = field.strip_prefix("spurious_wakeups=") {
+            counters.spurious_wakeups = v.parse().map_err(|_| bad_counter(&reply))?;
+            seen += 1;
+        }
+    }
+    if seen != 2 {
+        return Err(bad_counter(&reply));
+    }
+    Ok(counters)
+}
+
+fn bad_counter(reply: &str) -> LoadError {
+    LoadError::Setup(format!("unparseable stats net counters: {reply}"))
+}
+
+/// Reads one `\n`-terminated line straight off a socket (no buffered
+/// reader, no fd clone — for the idle mass where fds are the budget).
+fn read_line_raw(stream: &mut TcpStream) -> std::io::Result<String> {
+    use std::io::Read;
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 || byte[0] == b'\n' {
+            return Ok(String::from_utf8_lossy(&line).into_owned());
+        }
+        line.push(byte[0]);
+    }
 }
 
 /// A connected client with the banner already consumed.
@@ -639,9 +1007,10 @@ fn roundtrip(client: &mut Client, line: &str) -> Result<String, LoadError> {
     Ok(reply.trim_end().to_string())
 }
 
-/// One client connection: wait for a slot in the connect ramp, open,
-/// sync on the barrier, replay the batch measuring and validating every
-/// reply, quit.
+/// One client connection: wait for a slot in the connect ramp (external
+/// servers only — see `connect_window` in [`run_load`]), open, sync on
+/// the barrier, replay the batch measuring and validating every reply,
+/// quit.
 fn client_worker(
     addr: &str,
     c: usize,
@@ -649,15 +1018,20 @@ fn client_worker(
     tenants: usize,
     barrier: &Barrier,
     connected: &AtomicUsize,
+    connect_window: usize,
 ) -> WorkerOutcome {
     let mut outcome = WorkerOutcome {
         per_tenant: vec![(0, 0, 0, 0); tenants],
         ..WorkerOutcome::default()
     };
-    // Pace the ramp: connect only once all but CONNECT_WINDOW of the
+    // Pace the ramp: connect only once all but `connect_window` of the
     // lower-indexed clients have finished their handshake, so at most
-    // CONNECT_WINDOW handshakes are ever in flight at once.
-    while connected.load(Ordering::Acquire) + CONNECT_WINDOW <= c {
+    // `connect_window` handshakes are ever in flight at once.
+    while connected
+        .load(Ordering::Acquire)
+        .saturating_add(connect_window)
+        <= c
+    {
         std::thread::sleep(Duration::from_millis(1));
     }
     let client = connect(addr);
@@ -806,13 +1180,19 @@ mod tests {
     }
 
     #[test]
-    fn loopback_load_test_reconciles_exactly() {
+    fn loopback_load_test_reconciles_exactly_under_both_models() {
+        for model in [NetModel::Threads, NetModel::Reactor] {
+            let scenario = small_scenario();
+            let report = run_load(&scenario, 24, None, model).unwrap();
+            assert!(report.passed(), "{model:?}: {:#?}", report.violations);
+            assert_eq!(report.model, model.effective());
+            assert_eq!(report.requests, 160);
+            assert_eq!(report.replies, 160);
+            assert_eq!(report.shed, 0);
+        }
         let scenario = small_scenario();
-        let report = run_load(&scenario, 24, None).unwrap();
+        let report = run_load(&scenario, 24, None, NetModel::platform_default()).unwrap();
         assert!(report.passed(), "{:#?}", report.violations);
-        assert_eq!(report.requests, 160);
-        assert_eq!(report.replies, 160);
-        assert_eq!(report.shed, 0);
         let timing = &report.timing;
         assert!(timing.p50_latency_ns <= timing.p95_latency_ns);
         assert!(timing.p95_latency_ns <= timing.p99_latency_ns);
@@ -833,7 +1213,7 @@ mod tests {
     #[test]
     fn snapshot_json_exposes_gateable_metrics() {
         let scenario = small_scenario();
-        let report = run_load(&scenario, 8, None).unwrap();
+        let report = run_load(&scenario, 8, None, NetModel::platform_default()).unwrap();
         assert!(report.passed(), "{:#?}", report.violations);
         let snapshot = JsonValue::parse(&report.snapshot_json()).unwrap();
         let metrics = crate::report::snapshot::extract_metrics(&snapshot, None);
@@ -854,6 +1234,41 @@ mod tests {
         let full = JsonValue::parse(&report.to_json()).unwrap();
         assert!(full.get("violations").is_some());
         assert!(full.get("timing").is_some());
+    }
+
+    #[test]
+    fn idle_connections_are_thread_and_wakeup_free() {
+        // Scaled down for `cargo test`; CI runs 4096 via the CLI.
+        let report = run_idle(
+            128,
+            NetModel::platform_default(),
+            32,
+            Duration::from_millis(300),
+        )
+        .unwrap();
+        assert!(report.passed(), "{:#?}", report.violations);
+        assert_eq!(report.connections, 128);
+        assert_eq!(report.live_reported, 129);
+        if report.model == NetModel::Reactor {
+            assert_eq!(report.spurious_delta, 0);
+            let threads = report.server_threads.expect("proc census on linux");
+            assert!(
+                threads <= 2 * report.cores,
+                "{threads} threads for {} cores",
+                report.cores
+            );
+            assert!(report.threads_per_kconn().unwrap() > 0.0);
+        }
+        // Both JSON faces parse; the snapshot carries the gateable keys.
+        let full = JsonValue::parse(&report.to_json()).unwrap();
+        assert!(full.get("spurious_delta").is_some());
+        let snapshot = JsonValue::parse(&report.snapshot_json()).unwrap();
+        let metrics = crate::report::snapshot::extract_metrics(&snapshot, None);
+        let group = format!("net-idle-{}", report.model.label());
+        assert!(metrics.contains_key(&format!("{group}/p99_latency_ns")));
+        if report.server_threads.is_some() {
+            assert!(metrics.contains_key(&format!("{group}/threads_per_kconn")));
+        }
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod scenario;
 pub mod score;
 pub mod trace;
 
-pub use loadtest::{policy_token, run_load, LoadError, LoadReport, LoadTenantScore};
+pub use loadtest::{
+    policy_token, run_idle, run_load, IdleReport, LoadError, LoadReport, LoadTenantScore,
+};
 pub use scenario::{ArrivalPattern, PolicyFamily, Scenario, SpecChoice};
 pub use score::{
     run, score, SimReport, SimTiming, TenantScore, UTILITY_FACTOR, UTILITY_MIN_SAMPLES,

@@ -96,12 +96,14 @@
 pub mod net;
 pub mod parallel;
 pub mod plan;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod service;
 pub mod session;
 pub mod spec;
 pub mod wire;
 
-pub use net::{NetConfig, NetStats, TcpServer};
+pub use net::{LineSession, NetConfig, NetModel, NetStats, TcpServer, MAX_LINE_BYTES};
 pub use parallel::{fit_cells, fit_cells_serial, parallel_map, FitCell};
 pub use plan::{MatrixPathMode, PlanCache, PlanStats, PlannedMatrix, SPARSE_DOMAIN_THRESHOLD};
 pub use service::{Replayed, Request, Response, Service, TenantConfig, TenantStats};

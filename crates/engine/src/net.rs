@@ -1,38 +1,75 @@
-//! TCP serving for the [`wire`](crate::wire) protocol: a bounded
-//! thread-per-connection socket server multiplexing many concurrent
-//! clients into one shared [`Service`].
+//! TCP serving for the [`wire`](crate::wire) protocol: one shared
+//! [`Service`] behind a socket server with two serving models.
 //!
-//! [`TcpServer::bind`] takes an address plus a [`NetConfig`] and returns
-//! a running server: an accept thread hands each connection to its own
-//! worker thread (cheap for this protocol — connections are mostly
-//! parked in blocking reads, and the engine's lock-striped plan cache
-//! and per-tenant ledgers do the real sharing). Every connection gets
-//! its own [`Codec`], so `use`-style default-tenant state is
-//! connection-scoped, exactly like a stdin session.
+//! [`TcpServer::bind`] takes an address plus a [`NetConfig`] and starts
+//! serving under the configured [`NetModel`]:
 //!
-//! Overload and lifecycle behavior, all tested over loopback:
+//! * **`Reactor`** (default on Linux) — an epoll readiness reactor.
+//!   A small fixed pool of event-loop threads (one per core, capped)
+//!   multiplexes every connection through nonblocking sockets and
+//!   per-connection [`LineSession`] state machines; an idle connection
+//!   costs a few hundred bytes of buffers and **no thread**, so the
+//!   server scales to thousands of mostly-idle connections with an
+//!   O(cores) thread count. Connections are pinned to a loop by fd
+//!   hash; idle timeouts ride a lazy timer wheel
+//!   (`reactor::TimerWheel`) revalidated against real activity, so the
+//!   request hot path does no timer bookkeeping.
+//! * **`Threads`** (portable fallback) — the original bounded
+//!   thread-per-connection model: each accepted connection gets its own
+//!   worker thread parked in blocking reads.
+//!
+//! Both models share the acceptor, the [`NetStats`] counters, and the
+//! same `LineSession` framing (banner → incremental line framing →
+//! [`Codec`] decode → [`Service`] dispatch → write buffer with
+//! partial-write continuation), so their wire behaviour is
+//! byte-identical. On Linux the acceptor blocks on epoll over the
+//! listener fd plus a shutdown eventfd doorbell — an idle server does
+//! zero accept-path wakeups in either model (no accept busy-poll).
+//!
+//! Overload and lifecycle behaviour, all tested over loopback:
 //!
 //! * **Backpressure** — at most [`NetConfig::max_connections`] live
 //!   connections; beyond that, new clients get one
 //!   `err server-busy …` line and an immediate close (an explicit shed,
 //!   counted in [`NetStats::shed`], rather than an unbounded queue).
+//! * **Listen backlog** — [`NetConfig::listen_backlog`] is passed to
+//!   `listen(2)` (std's `TcpListener::bind` hardcodes 128), so a mass
+//!   simultaneous connect burst can ride the kernel queue instead of
+//!   tripping SYN-flood defenses.
 //! * **Line cap** — a request line longer than [`MAX_LINE_BYTES`] gets
-//!   `err line-too-long …` and a close: one client cannot grow an
-//!   unbounded buffer server-side.
+//!   `err line-too-long …` and a close, enforced mid-stream while the
+//!   line is still arriving: one client cannot grow an unbounded buffer
+//!   server-side.
 //! * **Idle timeout** — a connection silent for
-//!   [`NetConfig::idle_timeout`] is closed so abandoned clients cannot
-//!   pin worker slots forever.
+//!   [`NetConfig::idle_timeout`] is closed (reactor: a timer-wheel
+//!   eviction; threads: a read-timeout tick) so abandoned clients
+//!   cannot pin resources forever.
 //! * **Graceful shutdown** — [`TcpServer::shutdown`] stops accepting,
-//!   then waits (bounded) for in-flight connections to drain; workers
-//!   observe the flag at their next read-timeout tick.
+//!   notifies every live connection with `err server-shutdown …`, and
+//!   waits (bounded) for the connection count to drain.
+//!
+//! The reactor's internal counters (spurious wakeups, partial writes
+//! resumed, timer-wheel evictions) are visible to clients through the
+//! TCP-only `stats net` request, answered at the framing layer without
+//! touching the engine — load tests use it to assert that idle
+//! connections generate no events.
 
+#[cfg(target_os = "linux")]
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+#[cfg(target_os = "linux")]
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+#[cfg(target_os = "linux")]
+use crate::reactor::{
+    listen_with_backlog, Epoll, EpollEvent, EventFd, TimerWheel, EPOLLERR, EPOLLHUP, EPOLLIN,
+    EPOLLOUT, EPOLLRDHUP,
+};
 use crate::service::Service;
 use crate::wire::{Codec, WireReply};
 
@@ -42,12 +79,76 @@ use crate::wire::{Codec, WireReply};
 /// traffic.
 pub const MAX_LINE_BYTES: usize = 256 * 1024;
 
-/// How often a parked connection wakes to check idle time and the
-/// shutdown flag (the read timeout on every worker socket).
+/// How often a parked `threads`-model worker wakes to check idle time
+/// and the shutdown flag (the read timeout on every worker socket).
 const TICK: Duration = Duration::from_millis(200);
 
-/// Pacing of the accept loop when polling a nonblocking listener.
-const ACCEPT_IDLE: Duration = Duration::from_millis(2);
+/// Cap on reactor event-loop threads (the pool is
+/// `min(available cores, this)`): past a handful of loops the protocol
+/// is service-bound, not event-bound.
+const MAX_EVENT_LOOPS: usize = 8;
+
+/// Bytes read per `read(2)` in the reactor loops.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Max `read` calls served per readiness event before yielding back to
+/// the loop (level-triggered epoll re-fires if more input is pending),
+/// so one firehose connection cannot starve its loop-mates.
+const READS_PER_EVENT: usize = 16;
+
+/// The serving model a [`TcpServer`] multiplexes connections with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetModel {
+    /// Bounded thread-per-connection workers (portable fallback).
+    Threads,
+    /// Epoll readiness reactor: O(cores) event-loop threads serving all
+    /// connections (Linux; falls back to `Threads` elsewhere).
+    Reactor,
+}
+
+impl NetModel {
+    /// The platform default: `Reactor` on Linux, `Threads` elsewhere.
+    pub fn platform_default() -> NetModel {
+        if cfg!(target_os = "linux") {
+            NetModel::Reactor
+        } else {
+            NetModel::Threads
+        }
+    }
+
+    /// The model that will actually serve: `Reactor` degrades to
+    /// `Threads` off Linux.
+    pub fn effective(self) -> NetModel {
+        if cfg!(target_os = "linux") {
+            self
+        } else {
+            NetModel::Threads
+        }
+    }
+
+    /// Parses the `--net-model` flag token.
+    pub fn parse(token: &str) -> Option<NetModel> {
+        match token {
+            "threads" => Some(NetModel::Threads),
+            "reactor" => Some(NetModel::Reactor),
+            _ => None,
+        }
+    }
+
+    /// The flag token / stats label for this model.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetModel::Threads => "threads",
+            NetModel::Reactor => "reactor",
+        }
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::platform_default()
+    }
+}
 
 /// Tuning for a [`TcpServer`].
 #[derive(Clone, Debug)]
@@ -57,6 +158,13 @@ pub struct NetConfig {
     pub max_connections: usize,
     /// Close a connection after this much silence.
     pub idle_timeout: Duration,
+    /// `listen(2)` backlog: how many completed handshakes the kernel
+    /// may queue before the acceptor picks them up. Size it at least to
+    /// the largest simultaneous connect burst expected (the kernel
+    /// clamps to `net.core.somaxconn`).
+    pub listen_backlog: usize,
+    /// The serving model (see [`NetModel`]).
+    pub model: NetModel,
 }
 
 impl Default for NetConfig {
@@ -64,15 +172,19 @@ impl Default for NetConfig {
         NetConfig {
             max_connections: 1024,
             idle_timeout: Duration::from_secs(300),
+            listen_backlog: 1024,
+            model: NetModel::platform_default(),
         }
     }
 }
 
 /// Monotonic counters describing a server's lifetime traffic, shared
-/// with every worker thread.
+/// with every worker/event-loop thread and surfaced to clients through
+/// the TCP-only `stats net` request.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    /// Connections accepted into a worker (including ones since closed).
+    /// Connections accepted into the serving model (including ones
+    /// since closed).
     pub accepted: AtomicU64,
     /// Connections shed with `err server-busy` at the cap.
     pub shed: AtomicU64,
@@ -82,45 +194,279 @@ pub struct NetStats {
     pub requests: AtomicU64,
     /// Currently open connections.
     pub live: AtomicUsize,
+    /// Reactor readiness events that produced no bytes in either
+    /// direction — wakeups the server paid for nothing. Idle
+    /// connections must keep this at zero.
+    pub spurious_wakeups: AtomicU64,
+    /// Writes that hit a full socket buffer and were completed later by
+    /// an `EPOLLOUT` readiness event (partial-write continuations).
+    pub partial_writes_resumed: AtomicU64,
+    /// Connections evicted by the reactor's idle timer wheel (the
+    /// reactor's contribution to [`idle_closed`](NetStats::idle_closed)).
+    pub timer_evictions: AtomicU64,
+    /// Event-loop threads serving connections (0 under the threads
+    /// model — every connection has its own thread there).
+    pub event_loops: AtomicUsize,
+}
+
+impl NetStats {
+    /// The `ok stats net …` reply line: every counter, prefixed with
+    /// the serving model, ordered stably for parsers.
+    pub fn wire_line(&self, model: NetModel) -> String {
+        format!(
+            "ok stats net model={} accepted={} live={} requests={} shed={} idle_closed={} \
+             spurious_wakeups={} partial_writes_resumed={} timer_evictions={} event_loops={}",
+            model.label(),
+            self.accepted.load(Ordering::SeqCst),
+            self.live.load(Ordering::SeqCst),
+            self.requests.load(Ordering::SeqCst),
+            self.shed.load(Ordering::SeqCst),
+            self.idle_closed.load(Ordering::SeqCst),
+            self.spurious_wakeups.load(Ordering::SeqCst),
+            self.partial_writes_resumed.load(Ordering::SeqCst),
+            self.timer_evictions.load(Ordering::SeqCst),
+            self.event_loops.load(Ordering::SeqCst),
+        )
+    }
+}
+
+/// The per-connection protocol state machine, shared verbatim by both
+/// serving models (and driven with arbitrary chunkings by the framing
+/// property tests): banner, incremental line framing with the
+/// [`MAX_LINE_BYTES`] cap enforced mid-stream, [`Codec`] decode,
+/// [`Service`] dispatch, and a pending-output buffer the caller drains
+/// at whatever pace the socket allows.
+///
+/// Drivers feed raw received bytes to [`ingest`](LineSession::ingest)
+/// and write out [`output`](LineSession::output), acknowledging with
+/// [`consume`](LineSession::consume) (which may be partial — the
+/// continuation state *is* the buffer). Lifecycle verdicts
+/// ([`closing`](LineSession::closing)) are sticky: once the session
+/// decides to close, further input is discarded and only the remaining
+/// output needs flushing ([`finished`](LineSession::finished)).
+#[derive(Debug)]
+pub struct LineSession {
+    codec: Codec,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    closing: bool,
+}
+
+impl Default for LineSession {
+    fn default() -> Self {
+        LineSession::new()
+    }
+}
+
+impl LineSession {
+    /// A fresh session with the protocol banner already queued as
+    /// pending output.
+    pub fn new() -> LineSession {
+        let mut wbuf = Codec::banner().into_bytes();
+        wbuf.push(b'\n');
+        LineSession {
+            codec: Codec::new(),
+            rbuf: Vec::new(),
+            wbuf,
+            wpos: 0,
+            closing: false,
+        }
+    }
+
+    /// Feeds received bytes through framing and dispatch, queueing one
+    /// reply line per complete request line. Counts served requests in
+    /// `stats`; answers the TCP-only `stats net` introspection line
+    /// locally. Input after a close decision is discarded.
+    pub fn ingest(&mut self, bytes: &[u8], service: &Service, stats: &NetStats, model: NetModel) {
+        if self.closing {
+            return;
+        }
+        self.rbuf.extend_from_slice(bytes);
+        while let Some(pos) = self.rbuf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = self.rbuf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]);
+            let line = line.trim_end_matches('\r');
+            if line.trim() == "stats net" {
+                stats.requests.fetch_add(1, Ordering::SeqCst);
+                self.push_line(&stats.wire_line(model));
+                continue;
+            }
+            match self.codec.serve(service, line) {
+                WireReply::Reply(reply) => {
+                    stats.requests.fetch_add(1, Ordering::SeqCst);
+                    self.push_line(&reply);
+                }
+                WireReply::Silent => {}
+                WireReply::Quit => {
+                    self.closing = true;
+                    self.rbuf.clear();
+                    return;
+                }
+            }
+        }
+        if self.rbuf.len() > MAX_LINE_BYTES {
+            self.push_line("err line-too-long (request line limit exceeded)");
+            self.closing = true;
+            self.rbuf.clear();
+        }
+    }
+
+    /// The peer closed its write half (or the socket died): finish
+    /// flushing whatever is pending, then close. Queues no reply.
+    pub fn note_eof(&mut self) {
+        self.closing = true;
+    }
+
+    /// The connection exceeded its idle timeout: queue the explanatory
+    /// error and close (counted in [`NetStats::idle_closed`]).
+    pub fn note_idle_timeout(&mut self, stats: &NetStats) {
+        if !self.closing {
+            stats.idle_closed.fetch_add(1, Ordering::SeqCst);
+            self.push_line("err idle-timeout (connection closing)");
+            self.closing = true;
+        }
+    }
+
+    /// The server is shutting down: queue the explanatory error and
+    /// close.
+    pub fn note_shutdown(&mut self) {
+        if !self.closing {
+            self.push_line("err server-shutdown (connection closing)");
+            self.closing = true;
+        }
+    }
+
+    /// Bytes waiting to be written to the socket.
+    pub fn output(&self) -> &[u8] {
+        &self.wbuf[self.wpos..]
+    }
+
+    /// Acknowledges `n` bytes of [`output`](LineSession::output) as
+    /// written (partial writes keep the rest pending).
+    pub fn consume(&mut self, n: usize) {
+        self.wpos = (self.wpos + n).min(self.wbuf.len());
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+    }
+
+    /// Whether the session has decided to close (no further input will
+    /// be served).
+    pub fn closing(&self) -> bool {
+        self.closing
+    }
+
+    /// Whether the session is closing *and* fully flushed — the driver
+    /// may now drop the socket.
+    pub fn finished(&self) -> bool {
+        self.closing && self.output().is_empty()
+    }
+
+    fn push_line(&mut self, line: &str) {
+        self.wbuf.extend_from_slice(line.as_bytes());
+        self.wbuf.push(b'\n');
+    }
 }
 
 /// A running TCP front end over a shared [`Service`]. Dropping the
 /// handle shuts the server down.
 pub struct TcpServer {
     addr: SocketAddr,
+    model: NetModel,
     stats: Arc<NetStats>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    accept_wake: Arc<Doorbell>,
+    #[cfg(target_os = "linux")]
+    loops: Vec<Arc<EventLoopHandle>>,
+    loop_threads: Vec<JoinHandle<()>>,
 }
 
 impl TcpServer {
     /// Binds `addr` (e.g. `127.0.0.1:7741`, or port `0` for an ephemeral
-    /// port) and starts accepting. The returned handle reports the
-    /// concrete [`local_addr`](TcpServer::local_addr) and serves until
+    /// port) with the configured listen backlog and starts serving under
+    /// [`NetConfig::model`]. The returned handle reports the concrete
+    /// [`local_addr`](TcpServer::local_addr) and serves until
     /// [`shutdown`](TcpServer::shutdown) or drop.
     pub fn bind(
         service: Arc<Service>,
         addr: &str,
         config: NetConfig,
     ) -> std::io::Result<TcpServer> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = bind_listener(addr, config.listen_backlog)?;
         let addr = listener.local_addr()?;
-        // Nonblocking accept + sleep lets the accept thread observe the
-        // stop flag promptly without platform-specific wakeup plumbing.
         listener.set_nonblocking(true)?;
+        let model = config.model.effective();
         let stats = Arc::new(NetStats::default());
         let stop = Arc::new(AtomicBool::new(false));
+        let accept_wake = Arc::new(Doorbell::new());
+
+        // Event loops first (reactor model), so the acceptor has
+        // somewhere to dispatch from its first connection on.
+        #[cfg(target_os = "linux")]
+        let mut loops: Vec<Arc<EventLoopHandle>> = Vec::new();
+        let mut loop_threads = Vec::new();
+        let dispatch: Dispatch = match model {
+            NetModel::Threads => Dispatch::Threads {
+                service: Arc::clone(&service),
+                stop: Arc::clone(&stop),
+            },
+            NetModel::Reactor => {
+                #[cfg(target_os = "linux")]
+                {
+                    let n = std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                        .min(MAX_EVENT_LOOPS);
+                    stats.event_loops.store(n, Ordering::SeqCst);
+                    for i in 0..n {
+                        let handle = Arc::new(EventLoopHandle::new()?);
+                        let (h, service, config, stats, stop) = (
+                            Arc::clone(&handle),
+                            Arc::clone(&service),
+                            config.clone(),
+                            Arc::clone(&stats),
+                            Arc::clone(&stop),
+                        );
+                        loop_threads.push(
+                            std::thread::Builder::new()
+                                .name(format!("blowfish-loop-{i}"))
+                                .spawn(move || event_loop(&h, &service, &config, &stats, &stop))?,
+                        );
+                        loops.push(handle);
+                    }
+                    Dispatch::Reactor {
+                        loops: loops.clone(),
+                    }
+                }
+                #[cfg(not(target_os = "linux"))]
+                unreachable!("NetModel::effective() never yields Reactor off Linux")
+            }
+        };
+
         let accept_thread = {
-            let (service, stats, stop) = (service, Arc::clone(&stats), Arc::clone(&stop));
+            let (stats, stop, wake) = (
+                Arc::clone(&stats),
+                Arc::clone(&stop),
+                Arc::clone(&accept_wake),
+            );
+            let config = config.clone();
             std::thread::Builder::new()
                 .name("blowfish-accept".to_string())
-                .spawn(move || accept_loop(listener, service, config, stats, stop))?
+                .spawn(move || accept_loop(listener, dispatch, config, stats, stop, wake))?
         };
         Ok(TcpServer {
             addr,
+            model,
             stats,
             stop,
             accept_thread: Some(accept_thread),
+            accept_wake,
+            #[cfg(target_os = "linux")]
+            loops,
+            loop_threads,
         })
     }
 
@@ -129,17 +475,33 @@ impl TcpServer {
         self.addr
     }
 
+    /// The serving model actually in effect (a `Reactor` request
+    /// degrades to `Threads` off Linux).
+    pub fn model(&self) -> NetModel {
+        self.model
+    }
+
     /// The server's shared traffic counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
     }
 
-    /// Stops accepting and waits up to `drain` for live connections to
-    /// finish; returns `true` if the server drained fully. Workers see
-    /// the flag within one read-timeout tick.
+    /// Stops accepting, notifies live connections, and waits up to
+    /// `drain` for them to finish; returns `true` if the server drained
+    /// fully. Reactor loops drain at their next wakeup (immediate —
+    /// their doorbells are rung); threads-model workers see the flag
+    /// within one read-timeout tick.
     pub fn shutdown(&mut self, drain: Duration) -> bool {
         self.stop.store(true, Ordering::SeqCst);
+        self.accept_wake.ring();
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        #[cfg(target_os = "linux")]
+        for handle in &self.loops {
+            handle.doorbell.notify();
+        }
+        for handle in self.loop_threads.drain(..) {
             let _ = handle.join();
         }
         let deadline = Instant::now() + drain;
@@ -159,50 +521,176 @@ impl Drop for TcpServer {
     }
 }
 
+/// Binds the listener with an explicit backlog where the platform
+/// supports it, falling back to std's 128-entry default otherwise.
+fn bind_listener(addr: &str, backlog: usize) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::ToSocketAddrs;
+        if let Some(sock_addr) = addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            if let Ok(listener) = listen_with_backlog(sock_addr, backlog) {
+                return Ok(listener);
+            }
+        }
+    }
+    let _ = backlog;
+    TcpListener::bind(addr)
+}
+
+/// The cross-thread wakeup for the acceptor: an eventfd doorbell on
+/// Linux (the acceptor epoll-waits on it), a no-op elsewhere (the
+/// acceptor polls at a short interval instead).
+#[derive(Debug)]
+struct Doorbell {
+    #[cfg(target_os = "linux")]
+    eventfd: Option<EventFd>,
+}
+
+impl Doorbell {
+    fn new() -> Doorbell {
+        Doorbell {
+            #[cfg(target_os = "linux")]
+            eventfd: EventFd::new().ok(),
+        }
+    }
+
+    fn ring(&self) {
+        #[cfg(target_os = "linux")]
+        if let Some(eventfd) = &self.eventfd {
+            eventfd.notify();
+        }
+    }
+}
+
+/// Where the acceptor sends an admitted connection.
+enum Dispatch {
+    /// Spawn a dedicated worker thread (threads model).
+    Threads {
+        service: Arc<Service>,
+        stop: Arc<AtomicBool>,
+    },
+    /// Hand off to the event loop owning the connection's fd hash
+    /// (reactor model).
+    #[cfg(target_os = "linux")]
+    Reactor { loops: Vec<Arc<EventLoopHandle>> },
+}
+
+/// The accept loop shared by both serving models: admit or shed each
+/// connection, then dispatch. On Linux it blocks on epoll over the
+/// listener plus the shutdown doorbell — zero wakeups while no client
+/// connects; elsewhere (or if epoll setup fails) it degrades to a
+/// short-interval nonblocking poll.
 fn accept_loop(
     listener: TcpListener,
-    service: Arc<Service>,
+    mut dispatch: Dispatch,
     config: NetConfig,
     stats: Arc<NetStats>,
     stop: Arc<AtomicBool>,
+    wake: Arc<Doorbell>,
 ) {
+    let waiter = AcceptWaiter::new(&listener, &wake);
     while !stop.load(Ordering::SeqCst) {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_IDLE);
+        // Drain every queued handshake before parking again.
+        loop {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                // Transient accept errors (per-connection resets, fd
+                // pressure): back off briefly rather than killing
+                // serving.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    break;
+                }
+            };
+            if stats.live.load(Ordering::SeqCst) >= config.max_connections {
+                shed(stream, &stats);
                 continue;
             }
-            // Transient accept errors (per-connection resets, fd
-            // pressure): back off briefly rather than killing serving.
-            Err(_) => {
-                std::thread::sleep(ACCEPT_IDLE * 10);
-                continue;
+            stats.live.fetch_add(1, Ordering::SeqCst);
+            stats.accepted.fetch_add(1, Ordering::SeqCst);
+            if !dispatch.send(stream, &config, &stats) {
+                stats.live.fetch_sub(1, Ordering::SeqCst);
+                stats.accepted.fetch_sub(1, Ordering::SeqCst);
             }
-        };
-        if stats.live.load(Ordering::SeqCst) >= config.max_connections {
-            shed(stream, &stats);
-            continue;
         }
-        stats.live.fetch_add(1, Ordering::SeqCst);
-        stats.accepted.fetch_add(1, Ordering::SeqCst);
-        let (service, stats_w, stop_w) =
-            (Arc::clone(&service), Arc::clone(&stats), Arc::clone(&stop));
-        let idle_timeout = config.idle_timeout;
-        let spawned = std::thread::Builder::new()
-            .name("blowfish-conn".to_string())
-            // Workers parse lines and call into the engine — no deep
-            // recursion — so a small stack keeps 1000+ threads cheap.
-            .stack_size(256 * 1024)
-            .spawn(move || {
-                let _ = serve_connection(stream, &service, idle_timeout, &stats_w, &stop_w);
-                stats_w.live.fetch_sub(1, Ordering::SeqCst);
-            });
-        if spawned.is_err() {
-            // Thread spawn failed (resource exhaustion): undo the
-            // accounting; the stream drops closed.
-            stats.live.fetch_sub(1, Ordering::SeqCst);
-            stats.accepted.fetch_sub(1, Ordering::SeqCst);
+        waiter.wait();
+    }
+}
+
+impl Dispatch {
+    /// Routes one admitted connection into its serving model; `false`
+    /// means dispatch failed and the caller must undo the admission
+    /// accounting (the stream drops closed).
+    fn send(&mut self, stream: TcpStream, config: &NetConfig, stats: &Arc<NetStats>) -> bool {
+        match self {
+            Dispatch::Threads { service, stop } => {
+                let (service, stats_w, stop_w) =
+                    (Arc::clone(service), Arc::clone(stats), Arc::clone(stop));
+                let idle_timeout = config.idle_timeout;
+                std::thread::Builder::new()
+                    .name("blowfish-conn".to_string())
+                    // Workers parse lines and call into the engine — no
+                    // deep recursion — so a small stack keeps 1000+
+                    // threads cheap.
+                    .stack_size(256 * 1024)
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &service, idle_timeout, &stats_w, &stop_w);
+                        stats_w.live.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .is_ok()
+            }
+            #[cfg(target_os = "linux")]
+            Dispatch::Reactor { loops } => {
+                use std::os::unix::io::AsRawFd;
+                let slot = (stream.as_raw_fd() as usize) % loops.len();
+                loops[slot].inbox.lock().unwrap().push(stream);
+                loops[slot].doorbell.notify();
+                true
+            }
+        }
+    }
+}
+
+/// How the acceptor parks between connection bursts.
+enum AcceptWaiter {
+    #[cfg(target_os = "linux")]
+    Epoll(Epoll),
+    /// Fallback: nonblocking accept + short sleep (non-Linux, or epoll
+    /// setup failure).
+    Poll,
+}
+
+impl AcceptWaiter {
+    #[allow(unused_variables)]
+    fn new(listener: &TcpListener, wake: &Doorbell) -> AcceptWaiter {
+        #[cfg(target_os = "linux")]
+        {
+            use std::os::unix::io::AsRawFd;
+            if let Some(eventfd) = &wake.eventfd {
+                if let Ok(epoll) = Epoll::new() {
+                    if epoll.add(listener.as_raw_fd(), EPOLLIN, 0).is_ok()
+                        && epoll.add(eventfd.raw_fd(), EPOLLIN, 1).is_ok()
+                    {
+                        return AcceptWaiter::Epoll(epoll);
+                    }
+                }
+            }
+        }
+        AcceptWaiter::Poll
+    }
+
+    fn wait(&self) {
+        match self {
+            #[cfg(target_os = "linux")]
+            AcceptWaiter::Epoll(epoll) => {
+                let mut events = [EpollEvent::zeroed(); 4];
+                // The doorbell is left un-drained on purpose: once rung
+                // (shutdown), every subsequent wait returns immediately
+                // and the loop re-checks the stop flag.
+                let _ = epoll.wait(&mut events, None);
+            }
+            AcceptWaiter::Poll => std::thread::sleep(Duration::from_millis(2)),
         }
     }
 }
@@ -214,8 +702,9 @@ fn shed(mut stream: TcpStream, stats: &NetStats) {
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// Drives one connection: banner, then a decode→dispatch→encode loop
-/// with manual line framing, until quit/EOF/idle-timeout/shutdown.
+/// Threads-model worker: drives one blocking connection through the
+/// shared [`LineSession`] state machine until quit/EOF/idle-timeout/
+/// shutdown.
 fn serve_connection(
     mut stream: TcpStream,
     service: &Service,
@@ -227,54 +716,39 @@ fn serve_connection(
     // matters more than batching, so disable Nagle.
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(TICK))?;
-    stream.write_all(Codec::banner().as_bytes())?;
-    stream.write_all(b"\n")?;
-
-    let mut codec = Codec::new();
-    let mut buf = Vec::with_capacity(512);
+    let mut session = LineSession::new();
     let mut chunk = [0u8; 4096];
     let mut idle = Duration::ZERO;
     loop {
-        // Serve every complete line already buffered.
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line_bytes[..pos]);
-            match codec.serve(service, line.trim_end_matches('\r')) {
-                WireReply::Reply(reply) => {
-                    stats.requests.fetch_add(1, Ordering::SeqCst);
-                    stream.write_all(reply.as_bytes())?;
-                    stream.write_all(b"\n")?;
-                }
-                WireReply::Silent => {}
-                WireReply::Quit => {
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    return Ok(());
-                }
+        while !session.output().is_empty() {
+            let n = stream.write(session.output())?;
+            if n == 0 {
+                return Err(std::io::Error::from(ErrorKind::WriteZero));
             }
+            session.consume(n);
         }
-        if buf.len() > MAX_LINE_BYTES {
-            let _ = stream.write_all(b"err line-too-long (request line limit exceeded)\n");
+        if session.finished() {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             return Ok(());
         }
         if stop.load(Ordering::SeqCst) {
-            let _ = stream.write_all(b"err server-shutdown (connection closing)\n");
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-            return Ok(());
+            session.note_shutdown();
+            continue;
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return Ok(()), // EOF
+            Ok(0) => {
+                session.note_eof();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Ok(());
+            }
             Ok(n) => {
                 idle = Duration::ZERO;
-                buf.extend_from_slice(&chunk[..n]);
+                session.ingest(&chunk[..n], service, stats, NetModel::Threads);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 idle += TICK;
                 if idle >= idle_timeout {
-                    stats.idle_closed.fetch_add(1, Ordering::SeqCst);
-                    let _ = stream.write_all(b"err idle-timeout (connection closing)\n");
-                    let _ = stream.shutdown(std::net::Shutdown::Both);
-                    return Ok(());
+                    session.note_idle_timeout(stats);
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -283,13 +757,305 @@ fn serve_connection(
     }
 }
 
+/// What the acceptor shares with one reactor event loop.
+#[cfg(target_os = "linux")]
+struct EventLoopHandle {
+    /// Rung by the acceptor (new connection in the inbox) and by
+    /// shutdown.
+    doorbell: EventFd,
+    /// Freshly accepted connections awaiting adoption by the loop.
+    inbox: Mutex<Vec<TcpStream>>,
+}
+
+#[cfg(target_os = "linux")]
+impl EventLoopHandle {
+    fn new() -> std::io::Result<EventLoopHandle> {
+        Ok(EventLoopHandle {
+            doorbell: EventFd::new()?,
+            inbox: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// One reactor-owned connection.
+#[cfg(target_os = "linux")]
+struct Conn {
+    stream: TcpStream,
+    session: LineSession,
+    last_active: Instant,
+    /// Whether `EPOLLOUT` is currently registered (pending output).
+    interest_out: bool,
+    /// Whether the last flush stopped on a full socket buffer (the next
+    /// `EPOLLOUT` completion counts as a resumed partial write).
+    partial_write: bool,
+}
+
+/// The doorbell's token in a loop's epoll set (fds are nonnegative, so
+/// the max token can never collide).
+#[cfg(target_os = "linux")]
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One reactor event loop: adopts connections from its inbox, serves
+/// readiness events through the [`LineSession`] state machine, and
+/// evicts idlers via a lazy timer wheel.
+#[cfg(target_os = "linux")]
+fn event_loop(
+    handle: &EventLoopHandle,
+    service: &Service,
+    config: &NetConfig,
+    stats: &NetStats,
+    stop: &AtomicBool,
+) {
+    use std::os::unix::io::AsRawFd;
+
+    let epoll = match Epoll::new() {
+        Ok(epoll) => epoll,
+        // Cannot serve without a readiness set; connections dispatched
+        // here will close. (Never observed in practice: bind() already
+        // created epoll sets successfully.)
+        Err(_) => return,
+    };
+    if epoll
+        .add(handle.doorbell.raw_fd(), EPOLLIN, WAKE_TOKEN)
+        .is_err()
+    {
+        return;
+    }
+    // Wheel granularity: coarse enough that thousands of idle
+    // connections cost a handful of wakeups per minute, fine enough
+    // that evictions land within ~25% of the configured timeout.
+    let granularity =
+        (config.idle_timeout / 4).clamp(Duration::from_millis(25), Duration::from_secs(10));
+    let slots = (config.idle_timeout.as_nanos() / granularity.as_nanos()).max(1) as usize + 2;
+    let mut wheel = TimerWheel::new(granularity, slots, Instant::now());
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events = vec![EpollEvent::zeroed(); 1024];
+    let mut fired: Vec<u64> = Vec::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
+
+    loop {
+        let timeout = wheel.next_timeout(Instant::now());
+        let n = epoll.wait(&mut events, timeout).unwrap_or_default();
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let now = Instant::now();
+        for event in events.iter().take(n) {
+            let (token, bits) = (event.token, event.events);
+            if token == WAKE_TOKEN {
+                handle.doorbell.drain();
+                adopt_inbox(
+                    handle, &epoll, &mut conns, &mut wheel, config, service, stats, now,
+                );
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let close = serve_readiness(conn, bits, service, config, stats, &mut chunk, now);
+            let fd = conn.stream.as_raw_fd();
+            if close || conn.session.finished() {
+                let _ = epoll.delete(fd);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conns.remove(&token);
+                stats.live.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                // Keep EPOLLOUT registered exactly while output is
+                // pending (level-triggered: a standing EPOLLOUT on a
+                // writable idle socket would busy-fire).
+                let want_out = !conn.session.output().is_empty();
+                if want_out != conn.interest_out {
+                    let bits = EPOLLIN | if want_out { EPOLLOUT } else { 0 };
+                    if epoll.modify(fd, bits, token).is_ok() {
+                        conn.interest_out = want_out;
+                    }
+                }
+            }
+        }
+        // Timer wheel: candidates only — revalidate against real
+        // activity and either evict or reschedule for the remainder.
+        wheel.poll(now, &mut fired);
+        for token in fired.drain(..) {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            let idle = now.saturating_duration_since(conn.last_active);
+            if idle >= config.idle_timeout {
+                stats.timer_evictions.fetch_add(1, Ordering::SeqCst);
+                conn.session.note_idle_timeout(stats);
+                let _ = flush_nonblocking(conn);
+                let fd = conn.stream.as_raw_fd();
+                let _ = epoll.delete(fd);
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conns.remove(&token);
+                stats.live.fetch_sub(1, Ordering::SeqCst);
+            } else {
+                wheel.schedule(token, config.idle_timeout - idle);
+            }
+        }
+    }
+
+    // Shutdown drain: notify and close every connection this loop owns,
+    // plus any not-yet-adopted inbox strays (the acceptor has already
+    // been joined, so the inbox cannot refill).
+    for (_, mut conn) in conns.drain() {
+        conn.session.note_shutdown();
+        let _ = flush_nonblocking(&mut conn);
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        stats.live.fetch_sub(1, Ordering::SeqCst);
+    }
+    for stream in handle.inbox.lock().unwrap().drain(..) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        stats.live.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Moves freshly accepted connections from the inbox into the loop:
+/// nonblocking mode, banner queued (and eagerly flushed), epoll
+/// registration, idle-timer scheduling.
+#[cfg(target_os = "linux")]
+#[allow(clippy::too_many_arguments)]
+fn adopt_inbox(
+    handle: &EventLoopHandle,
+    epoll: &Epoll,
+    conns: &mut HashMap<u64, Conn>,
+    wheel: &mut TimerWheel,
+    config: &NetConfig,
+    service: &Service,
+    stats: &NetStats,
+    now: Instant,
+) {
+    use std::os::unix::io::AsRawFd;
+    let fresh: Vec<TcpStream> = handle.inbox.lock().unwrap().drain(..).collect();
+    for stream in fresh {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            stats.live.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let fd = stream.as_raw_fd();
+        let token = fd as u64;
+        let mut conn = Conn {
+            stream,
+            session: LineSession::new(),
+            last_active: now,
+            interest_out: false,
+            partial_write: false,
+        };
+        // Eager banner write: almost always completes in one call.
+        let _ = flush_nonblocking(&mut conn);
+        if conn.session.finished() {
+            stats.live.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        let want_out = !conn.session.output().is_empty();
+        let bits = EPOLLIN | if want_out { EPOLLOUT } else { 0 };
+        if epoll.add(fd, bits, token).is_err() {
+            stats.live.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        conn.interest_out = want_out;
+        wheel.schedule(token, config.idle_timeout);
+        let _ = service;
+        conns.insert(token, conn);
+    }
+}
+
+/// Serves one readiness event on one connection; returns `true` when
+/// the connection must be closed (fatal I/O error — clean closes are
+/// reported through `session.finished()`).
+#[cfg(target_os = "linux")]
+fn serve_readiness(
+    conn: &mut Conn,
+    bits: u32,
+    service: &Service,
+    config: &NetConfig,
+    stats: &NetStats,
+    chunk: &mut [u8],
+    now: Instant,
+) -> bool {
+    let mut progressed = false;
+    if bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+        // Drain available input (bounded per event; level-triggered
+        // epoll re-fires if more remains).
+        for _ in 0..READS_PER_EVENT {
+            match conn.stream.read(chunk) {
+                Ok(0) => {
+                    conn.session.note_eof();
+                    progressed = true;
+                    break;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    conn.last_active = now;
+                    conn.session
+                        .ingest(&chunk[..n], service, stats, NetModel::Reactor);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Connection reset or similar: nothing more to say
+                    // to this peer.
+                    return true;
+                }
+            }
+        }
+    }
+    if bits & EPOLLOUT != 0 && conn.partial_write && !conn.session.output().is_empty() {
+        stats.partial_writes_resumed.fetch_add(1, Ordering::SeqCst);
+    }
+    match flush_nonblocking(conn) {
+        Ok(wrote) => progressed |= wrote,
+        Err(_) => return true,
+    }
+    let _ = config;
+    if !progressed {
+        stats.spurious_wakeups.fetch_add(1, Ordering::SeqCst);
+    }
+    false
+}
+
+/// Writes as much pending output as the socket accepts right now;
+/// `Ok(true)` if any bytes moved. A full socket buffer marks the
+/// connection as mid-partial-write (completed later under `EPOLLOUT`).
+#[cfg(target_os = "linux")]
+fn flush_nonblocking(conn: &mut Conn) -> std::io::Result<bool> {
+    let mut wrote = false;
+    while !conn.session.output().is_empty() {
+        match conn.stream.write(conn.session.output()) {
+            Ok(0) => return Err(std::io::Error::from(ErrorKind::WriteZero)),
+            Ok(n) => {
+                conn.session.consume(n);
+                wrote = true;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                conn.partial_write = true;
+                return Ok(wrote);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    conn.partial_write = false;
+    Ok(wrote)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::{BufRead, BufReader};
 
-    fn server(config: NetConfig) -> TcpServer {
-        TcpServer::bind(Arc::new(Service::new()), "127.0.0.1:0", config).unwrap()
+    fn server_with(model: NetModel, config: NetConfig) -> TcpServer {
+        TcpServer::bind(
+            Arc::new(Service::new()),
+            "127.0.0.1:0",
+            NetConfig { model, ..config },
+        )
+        .unwrap()
+    }
+
+    fn both_models() -> Vec<NetModel> {
+        vec![NetModel::Threads, NetModel::Reactor]
     }
 
     /// Connect and consume the banner.
@@ -310,42 +1076,88 @@ mod tests {
     }
 
     #[test]
-    fn serves_a_full_session_over_tcp() {
-        let mut server = server(NetConfig::default());
+    fn serves_a_full_session_over_tcp_under_both_models() {
+        for model in both_models() {
+            let mut server = server_with(model, NetConfig::default());
+            let (mut reader, mut stream) = client(server.local_addr());
+            assert_eq!(
+                roundtrip(
+                    &mut reader,
+                    &mut stream,
+                    "tenant acme policy=line:16 eps=0.5 budget=1.0 data=uniform:3",
+                ),
+                "ok tenant acme policy=G^1_16 cells=16"
+            );
+            assert_eq!(
+                roundtrip(&mut reader, &mut stream, "hello blowfish/1"),
+                "ok hello blowfish/1"
+            );
+            // Connection-scoped default tenant works over the socket.
+            assert_eq!(
+                roundtrip(&mut reader, &mut stream, "use acme"),
+                "ok use acme"
+            );
+            let fit = roundtrip(&mut reader, &mut stream, "fit as=r1 seed=7");
+            assert_eq!(fit, "ok fit r1 charged=0.5 spent=0.5 remaining=0.5");
+            let answer = roundtrip(&mut reader, &mut stream, "answer from=r1 0..15");
+            assert!(answer.starts_with("ok answer 1 "), "{answer}");
+            // quit closes the connection (EOF on the reader).
+            writeln!(stream, "quit").unwrap();
+            let mut rest = String::new();
+            reader.read_line(&mut rest).unwrap();
+            assert_eq!(rest, "");
+            assert!(server.shutdown(Duration::from_secs(5)), "{model:?}");
+            assert_eq!(
+                server.stats().requests.load(Ordering::SeqCst),
+                5,
+                "{model:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_is_the_linux_default_and_reports_itself() {
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        assert_eq!(NetModel::platform_default(), NetModel::Reactor);
+        let mut server = server_with(NetModel::Reactor, NetConfig::default());
+        assert_eq!(server.model(), NetModel::Reactor);
+        assert!(server.stats().event_loops.load(Ordering::SeqCst) >= 1);
+        // The TCP-only `stats net` introspection line answers at the
+        // framing layer with every counter.
         let (mut reader, mut stream) = client(server.local_addr());
-        assert_eq!(
-            roundtrip(
-                &mut reader,
-                &mut stream,
-                "tenant acme policy=line:16 eps=0.5 budget=1.0 data=uniform:3",
-            ),
-            "ok tenant acme policy=G^1_16 cells=16"
-        );
-        assert_eq!(
-            roundtrip(&mut reader, &mut stream, "hello blowfish/1"),
-            "ok hello blowfish/1"
-        );
-        // Connection-scoped default tenant works over the socket.
-        assert_eq!(
-            roundtrip(&mut reader, &mut stream, "use acme"),
-            "ok use acme"
-        );
-        let fit = roundtrip(&mut reader, &mut stream, "fit as=r1 seed=7");
-        assert_eq!(fit, "ok fit r1 charged=0.5 spent=0.5 remaining=0.5");
-        let answer = roundtrip(&mut reader, &mut stream, "answer from=r1 0..15");
-        assert!(answer.starts_with("ok answer 1 "), "{answer}");
-        // quit closes the connection (EOF on the reader).
-        writeln!(stream, "quit").unwrap();
-        let mut rest = String::new();
-        reader.read_line(&mut rest).unwrap();
-        assert_eq!(rest, "");
+        let reply = roundtrip(&mut reader, &mut stream, "stats net");
+        assert!(reply.starts_with("ok stats net model=reactor "), "{reply}");
+        for key in [
+            "accepted=1",
+            "live=1",
+            "requests=1",
+            "shed=0",
+            "idle_closed=0",
+            "spurious_wakeups=",
+            "partial_writes_resumed=",
+            "timer_evictions=0",
+            "event_loops=",
+        ] {
+            assert!(reply.contains(key), "missing {key} in {reply}");
+        }
         assert!(server.shutdown(Duration::from_secs(5)));
-        assert_eq!(server.stats().requests.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn net_model_flag_tokens_round_trip() {
+        assert_eq!(NetModel::parse("reactor"), Some(NetModel::Reactor));
+        assert_eq!(NetModel::parse("threads"), Some(NetModel::Threads));
+        assert_eq!(NetModel::parse("green-threads"), None);
+        for model in both_models() {
+            assert_eq!(NetModel::parse(model.label()), Some(model));
+        }
     }
 
     #[test]
     fn default_tenant_state_is_per_connection() {
-        let mut server = server(NetConfig::default());
+        let mut server = server_with(NetModel::platform_default(), NetConfig::default());
         let (mut r1, mut s1) = client(server.local_addr());
         let (mut r2, mut s2) = client(server.local_addr());
         roundtrip(
@@ -365,83 +1177,174 @@ mod tests {
     }
 
     #[test]
-    fn connections_beyond_the_cap_are_shed() {
-        let mut server = server(NetConfig {
-            max_connections: 2,
-            ..NetConfig::default()
-        });
-        let keep1 = client(server.local_addr());
-        let keep2 = client(server.local_addr());
-        // The third connection gets the busy line, not a banner.
-        let extra = TcpStream::connect(server.local_addr()).unwrap();
-        let mut reader = BufReader::new(extra);
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        assert!(line.starts_with("err server-busy"), "{line}");
-        // …and then EOF.
-        line.clear();
-        reader.read_line(&mut line).unwrap();
-        assert_eq!(line, "");
-        assert_eq!(server.stats().shed.load(Ordering::SeqCst), 1);
-        // Freeing a slot re-opens admission.
-        drop(keep1);
-        let deadline = Instant::now() + Duration::from_secs(5);
-        loop {
-            let again = TcpStream::connect(server.local_addr()).unwrap();
-            let mut reader = BufReader::new(again);
-            let mut banner = String::new();
-            reader.read_line(&mut banner).unwrap();
-            if banner.starts_with("ok blowfish/1") {
-                break;
-            }
-            assert!(
-                Instant::now() < deadline,
-                "slot never freed; last reply {banner}"
+    fn connections_beyond_the_cap_are_shed_under_both_models() {
+        for model in both_models() {
+            let mut server = server_with(
+                model,
+                NetConfig {
+                    max_connections: 2,
+                    ..NetConfig::default()
+                },
             );
-            std::thread::sleep(Duration::from_millis(50));
+            let keep1 = client(server.local_addr());
+            let keep2 = client(server.local_addr());
+            // The third connection gets the busy line, not a banner.
+            let extra = TcpStream::connect(server.local_addr()).unwrap();
+            let mut reader = BufReader::new(extra);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("err server-busy"), "{model:?}: {line}");
+            // …and then EOF.
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line, "");
+            assert_eq!(server.stats().shed.load(Ordering::SeqCst), 1);
+            // Freeing a slot re-opens admission.
+            drop(keep1);
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                let again = TcpStream::connect(server.local_addr()).unwrap();
+                let mut reader = BufReader::new(again);
+                let mut banner = String::new();
+                reader.read_line(&mut banner).unwrap();
+                if banner.starts_with("ok blowfish/1") {
+                    break;
+                }
+                assert!(
+                    Instant::now() < deadline,
+                    "slot never freed; last reply {banner}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            drop(keep2);
+            assert!(server.shutdown(Duration::from_secs(5)), "{model:?}");
         }
-        drop(keep2);
-        assert!(server.shutdown(Duration::from_secs(5)));
     }
 
     #[test]
-    fn oversized_lines_close_the_connection() {
-        let mut server = server(NetConfig::default());
-        let (mut reader, mut stream) = client(server.local_addr());
-        let huge = vec![b'x'; MAX_LINE_BYTES + 4096];
-        stream.write_all(&huge).unwrap();
-        stream.flush().unwrap();
-        let mut reply = String::new();
-        reader.read_line(&mut reply).unwrap();
-        assert!(reply.starts_with("err line-too-long"), "{reply}");
-        assert!(server.shutdown(Duration::from_secs(5)));
+    fn oversized_lines_close_the_connection_under_both_models() {
+        for model in both_models() {
+            let mut server = server_with(model, NetConfig::default());
+            let (mut reader, mut stream) = client(server.local_addr());
+            let huge = vec![b'x'; MAX_LINE_BYTES + 4096];
+            stream.write_all(&huge).unwrap();
+            stream.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(reply.starts_with("err line-too-long"), "{model:?}: {reply}");
+            assert!(server.shutdown(Duration::from_secs(5)), "{model:?}");
+        }
     }
 
     #[test]
-    fn idle_connections_time_out() {
-        let mut server = server(NetConfig {
-            idle_timeout: Duration::from_millis(300),
-            ..NetConfig::default()
+    fn idle_connections_time_out_under_both_models() {
+        for model in both_models() {
+            let mut server = server_with(
+                model,
+                NetConfig {
+                    idle_timeout: Duration::from_millis(300),
+                    ..NetConfig::default()
+                },
+            );
+            let (mut reader, _stream) = client(server.local_addr());
+            let started = Instant::now();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("err idle-timeout"), "{model:?}: {line}");
+            assert!(started.elapsed() >= Duration::from_millis(250), "{model:?}");
+            assert_eq!(server.stats().idle_closed.load(Ordering::SeqCst), 1);
+            if model == NetModel::Reactor {
+                // The reactor's eviction rode the timer wheel.
+                assert_eq!(server.stats().timer_evictions.load(Ordering::SeqCst), 1);
+            }
+            assert!(server.shutdown(Duration::from_secs(5)), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn shutdown_notifies_parked_connections_under_both_models() {
+        for model in both_models() {
+            let mut server = server_with(model, NetConfig::default());
+            let (mut reader, _stream) = client(server.local_addr());
+            assert!(server.shutdown(Duration::from_secs(5)), "{model:?}");
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("err server-shutdown"), "{model:?}: {line}");
+            // New connections are refused once the listener is gone.
+            assert!(TcpStream::connect(server.local_addr()).is_err());
+        }
+    }
+
+    #[test]
+    fn pipelined_burst_is_served_in_order_without_loss() {
+        // 2000 requests written before any reply is read: exercises
+        // framing across partial reads and the reactor's write-buffer
+        // continuation under socket backpressure.
+        let mut server = server_with(NetModel::platform_default(), NetConfig::default());
+        let (reader, mut stream) = client(server.local_addr());
+        let total = 2000usize;
+        let writer = std::thread::spawn(move || {
+            let mut burst = String::new();
+            for _ in 0..total {
+                burst.push_str("help\n");
+            }
+            stream.write_all(burst.as_bytes()).unwrap();
+            stream.flush().unwrap();
+            stream
         });
-        let (mut reader, _stream) = client(server.local_addr());
-        let started = Instant::now();
+        let mut reader = reader;
+        let mut got = 0usize;
         let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        assert!(line.starts_with("err idle-timeout"), "{line}");
-        assert!(started.elapsed() >= Duration::from_millis(250));
-        assert_eq!(server.stats().idle_closed.load(Ordering::SeqCst), 1);
+        while got < total {
+            line.clear();
+            let n = reader.read_line(&mut line).unwrap();
+            assert!(n > 0, "connection closed after {got} replies");
+            assert!(line.starts_with("ok help blowfish/1 "), "{line}");
+            got += 1;
+        }
+        let stream = writer.join().unwrap();
+        drop(stream);
+        assert_eq!(server.stats().requests.load(Ordering::SeqCst), total as u64);
         assert!(server.shutdown(Duration::from_secs(5)));
     }
 
     #[test]
-    fn shutdown_notifies_parked_connections() {
-        let mut server = server(NetConfig::default());
-        let (mut reader, _stream) = client(server.local_addr());
-        assert!(server.shutdown(Duration::from_secs(5)));
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap();
-        assert!(line.starts_with("err server-shutdown"), "{line}");
-        // New connections are refused once the listener is gone.
-        assert!(TcpStream::connect(server.local_addr()).is_err());
+    fn line_session_matches_the_direct_codec_path() {
+        // The state machine's replies are byte-identical to serving the
+        // same lines straight through a codec (the equivalence the
+        // framing proptest pins down at scale).
+        let service = Service::new();
+        let stats = NetStats::default();
+        let mut session = LineSession::new();
+        let script = "tenant acme policy=line:8 eps=0.5 budget=2 data=uniform:1\n\
+                      use acme\nfit as=h seed=3\nanswer from=h 0..7\nbogus\n";
+        session.ingest(script.as_bytes(), &service, &stats, NetModel::Reactor);
+
+        let twin = Service::new();
+        let mut codec = Codec::new();
+        let mut expected = Codec::banner();
+        expected.push('\n');
+        for line in script.lines() {
+            if let WireReply::Reply(reply) = codec.serve(&twin, line) {
+                expected.push_str(&reply);
+                expected.push('\n');
+            }
+        }
+        assert_eq!(String::from_utf8_lossy(session.output()), expected);
+        assert!(!session.closing());
+        // Partial consumption keeps the continuation intact.
+        let full = session.output().to_vec();
+        session.consume(3);
+        assert_eq!(session.output(), &full[3..]);
+        session.consume(full.len());
+        assert!(session.output().is_empty());
+        // quit discards any buffered input after it.
+        session.ingest(
+            b"quit\nfit as=never seed=1\n",
+            &service,
+            &stats,
+            NetModel::Reactor,
+        );
+        assert!(session.finished());
     }
 }

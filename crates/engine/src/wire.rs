@@ -513,6 +513,13 @@ impl Codec {
     /// Decodes, dispatches, and encodes one input line against a
     /// service: the full per-line pipeline a connection driver runs.
     /// Updates the connection's default tenant on a successful `use`.
+    ///
+    /// One line never reaches this method over TCP: `stats net` is
+    /// answered at the framing layer ([`net::LineSession`](crate::net))
+    /// with per-server socket counters the codec cannot see. On stdio
+    /// the same line falls through to the ordinary per-tenant `stats`
+    /// path (and answers `err unknown tenant net`) — the single
+    /// intentional stdio/TCP divergence.
     pub fn serve(&mut self, service: &Service, line: &str) -> WireReply {
         match self.decode(line) {
             Ok(None) => WireReply::Silent,

@@ -20,8 +20,16 @@
 //! or pipe a script: `blowfish-serve < requests.txt`. In TCP mode:
 //!
 //! ```text
-//! $ blowfish-serve --tcp 127.0.0.1:7741 --max-conns 1024 --idle-timeout-secs 300
+//! $ blowfish-serve --tcp 127.0.0.1:7741 --max-conns 1024 --idle-timeout-secs 300 \
+//!       --net-model reactor --backlog 1024
 //! ```
+//!
+//! `--net-model` picks the serving model: `reactor` (the Linux default)
+//! multiplexes all connections over epoll with O(cores) event-loop
+//! threads, so thousands of mostly-idle connections cost no threads;
+//! `threads` is the portable thread-per-connection fallback. Both models
+//! answer identically on the wire. `--backlog` sizes the kernel listen
+//! queue for mass connect bursts.
 //!
 //! every connection is greeted with the `ok blowfish/1 ready …` banner
 //! and gets its own connection-scoped codec (so `use <tenant>` defaults
@@ -34,7 +42,7 @@ use std::io::{BufRead, Write};
 use std::sync::Arc;
 use std::time::Duration;
 
-use blowfish_privacy::engine::{Codec, NetConfig, Service, TcpServer, WireReply};
+use blowfish_privacy::engine::{Codec, NetConfig, NetModel, Service, TcpServer, WireReply};
 
 struct Args {
     tcp: Option<String>,
@@ -63,12 +71,26 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--idle-timeout-secs needs an integer".to_string())?,
                 )
             }
+            "--backlog" => {
+                args.config.listen_backlog = value("a count")?
+                    .parse()
+                    .map_err(|_| "--backlog needs an integer".to_string())?
+            }
+            "--net-model" => {
+                let token = value("reactor|threads")?;
+                args.config.model = NetModel::parse(&token).ok_or(format!(
+                    "--net-model must be reactor or threads, got {token}"
+                ))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: blowfish-serve [--tcp ADDR] [--max-conns N] [--idle-timeout-secs S]\n\
+                     \x20                     [--net-model reactor|threads] [--backlog N]\n\
                      \n\
                      Without --tcp, serves the blowfish/1 protocol over stdin/stdout.\n\
-                     With --tcp ADDR (e.g. 127.0.0.1:7741), serves concurrent TCP clients."
+                     With --tcp ADDR (e.g. 127.0.0.1:7741), serves concurrent TCP clients\n\
+                     under the chosen serving model (reactor: epoll event loops, the Linux\n\
+                     default; threads: portable thread-per-connection)."
                 );
                 std::process::exit(0);
             }
