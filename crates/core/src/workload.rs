@@ -134,6 +134,36 @@ impl Workload {
         Workload { arity: k, queries }
     }
 
+    /// The dyadic range workload `D_k`: every aligned power-of-two
+    /// interval of the (padded) binary partition tree, clipped to `[0,
+    /// k)` and deduplicated — ~`2k − 1` queries with O(k log k) total
+    /// support. Any range is a union of ≤ 2 log₂ k of these, so `D_k`
+    /// is the sparse stand-in for the quadratic `R_k` at serving scale.
+    pub fn dyadic_ranges_1d(k: usize) -> Self {
+        let padded = k.next_power_of_two().max(1);
+        let mut queries = Vec::new();
+        // Clipping the padded tree to [0, k) can make a child coincide
+        // with its parent; keep the first (coarsest) occurrence only.
+        let mut seen = std::collections::HashSet::new();
+        let mut size = padded;
+        loop {
+            let mut start = 0;
+            while start < padded {
+                let lo = start.min(k);
+                let hi = (start + size).min(k);
+                if lo < hi && seen.insert((lo, hi)) {
+                    queries.push(LinearQuery::range(k, lo, hi - 1).expect("valid range"));
+                }
+                start += size;
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+        Workload { arity: k, queries }
+    }
+
     /// All d-dimensional range queries `R_{k^d}` over `domain`. Beware: the
     /// count is `Π_d k_d(k_d+1)/2`; use only on small domains (as the
     /// Figure-10 lower bounds do).
@@ -560,6 +590,38 @@ mod tests {
         assert_eq!(*ans.last().unwrap(), 5.0);
         // The full range appears with answer 15.
         assert!(ans.contains(&15.0));
+    }
+
+    #[test]
+    fn dyadic_ranges_1d_structure() {
+        // Power-of-two k: exactly 2k − 1 tree nodes, O(k log k) support.
+        let k = 16;
+        let w = Workload::dyadic_ranges_1d(k);
+        assert_eq!(w.len(), 2 * k - 1);
+        let m = w.to_sparse_matrix();
+        assert_eq!(m.nnz(), k * (k.ilog2() as usize + 1));
+        // First query is the full range; answers match brute force.
+        let x: Vec<f64> = (0..k).map(|i| i as f64).collect();
+        let ans = w.answer(&x).unwrap();
+        assert_eq!(ans[0], x.iter().sum::<f64>());
+        for (q, a) in w.queries().iter().zip(&ans) {
+            let brute: f64 = (0..k).map(|j| q.coeff(j) * x[j]).sum();
+            assert_eq!(*a, brute);
+        }
+        // Non-power-of-two k: clipping must not duplicate queries.
+        for k in [1usize, 3, 5, 6, 7, 12, 13] {
+            let w = Workload::dyadic_ranges_1d(k);
+            let mut seen = std::collections::HashSet::new();
+            for q in w.queries() {
+                let support: Vec<usize> = (0..k).filter(|&j| q.coeff(j) != 0.0).collect();
+                assert!(!support.is_empty(), "k={k}: empty dyadic query");
+                assert!(
+                    seen.insert(support.clone()),
+                    "k={k}: duplicate dyadic query {support:?}"
+                );
+            }
+            assert!(w.len() <= 2 * k);
+        }
     }
 
     #[test]

@@ -32,7 +32,9 @@ use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use blowfish_core::{Epsilon, Incidence, PolicyGraph};
-use blowfish_mechanisms::{MatrixMechanism, MechanismError, PinvApply, SparseMatrixMechanism};
+use blowfish_mechanisms::{
+    GramSolver, MatrixMechanism, MechanismError, PinvApply, SparseMatrixMechanism,
+};
 use blowfish_strategies::{GridPlans, ThetaGridStrategy, ThetaLineStrategy};
 use rand::Rng;
 
@@ -48,6 +50,8 @@ pub struct PlanStats {
     haar: AtomicUsize,
     pseudoinverse: AtomicUsize,
     sparse_solver: AtomicUsize,
+    sparse_factorization: AtomicUsize,
+    cg_fallback: AtomicUsize,
 }
 
 impl PlanStats {
@@ -83,7 +87,23 @@ impl PlanStats {
         self.sparse_solver.load(Ordering::Relaxed)
     }
 
-    /// Total artifact derivations across all classes.
+    /// Shared gram solvers that planned a cached sparse Cholesky factor
+    /// — the factor-once events. Each one turns every subsequent release
+    /// over that strategy into two O(nnz(L)) triangular solves.
+    pub fn sparse_factorizations(&self) -> usize {
+        self.sparse_factorization.load(Ordering::Relaxed)
+    }
+
+    /// Shared gram solvers whose budget cascade declined to factor and
+    /// fell back to (IC(0)- or Jacobi-preconditioned) CG. A nonzero
+    /// count is not an error — it is the typed no-regression path.
+    pub fn cg_fallbacks(&self) -> usize {
+        self.cg_fallback.load(Ordering::Relaxed)
+    }
+
+    /// Total artifact derivations across all classes. Gram-solver plans
+    /// are not added separately: each is part of exactly one sparse
+    /// mechanism build (or shared by several).
     pub fn total_builds(&self) -> usize {
         self.incidence_builds()
             + self.theta_line_builds()
@@ -92,6 +112,22 @@ impl PlanStats {
             + self.pseudoinverse_builds()
             + self.sparse_matrix_builds()
     }
+}
+
+/// A point-in-time aggregate of runtime solver activity across every
+/// planned sparse mechanism in a cache, plus the plan-time factorization
+/// split — what the `stats` wire verb reports so a live server shows
+/// which apply path releases are taking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Normal-equation solves served (releases + error reports).
+    pub solves: usize,
+    /// Total CG iterations across those solves (0 on factored paths).
+    pub cg_iterations: usize,
+    /// Cached sparse Cholesky factorizations planned.
+    pub sparse_factorizations: usize,
+    /// Gram solvers that fell back to preconditioned CG.
+    pub cg_fallbacks: usize,
 }
 
 /// Domain size above which [`MatrixPathMode::Auto`] routes matrix
@@ -261,6 +297,11 @@ pub struct PlanCache {
     grid_plans: Striped<(usize, usize), GridPlans>,
     matrix: Striped<String, Arc<MatrixMechanism>>,
     sparse_matrix: Striped<String, Arc<SparseMatrixMechanism>>,
+    /// Shared normal-equation solvers keyed per strategy (not per
+    /// workload), so every workload over one strategy — the W = I
+    /// histogram and the W ≠ I range mechanism alike — pays for at most
+    /// one factorization.
+    gram_solvers: Striped<String, Arc<GramSolver>>,
     /// Encoded [`MatrixPathMode`] (0 = Auto, 1 = ForceDense,
     /// 2 = ForceSparse); atomic so services can flip it at runtime.
     matrix_mode: AtomicU8,
@@ -382,6 +423,54 @@ impl PlanCache {
             .get_or_build(key.to_string(), &self.stats.sparse_solver, || {
                 Ok(Arc::new(build()?))
             })
+    }
+
+    /// The shared gram solver for one strategy, planned at most once per
+    /// key. The build is counted under
+    /// [`PlanStats::sparse_factorizations`] when the budget cascade kept
+    /// a Cholesky factor and under [`PlanStats::cg_fallbacks`] when it
+    /// downgraded to preconditioned CG.
+    pub fn gram_solver<F>(&self, key: &str, build: F) -> Arc<GramSolver>
+    where
+        F: FnOnce() -> GramSolver,
+    {
+        let key = key.to_string();
+        let mut map = self
+            .gram_solvers
+            .stripe(&key)
+            .lock()
+            .expect("plan cache stripe lock");
+        if let Some(v) = map.get(&key) {
+            return Arc::clone(v);
+        }
+        let solver = Arc::new(build());
+        if solver.is_factored() {
+            self.stats
+                .sparse_factorization
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.cg_fallback.fetch_add(1, Ordering::Relaxed);
+        }
+        map.insert(key, Arc::clone(&solver));
+        solver
+    }
+
+    /// Aggregates runtime solver counters across every planned sparse
+    /// mechanism (walking all stripes) together with the plan-time
+    /// factorization split.
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut agg = SolverStats {
+            sparse_factorizations: self.stats.sparse_factorizations(),
+            cg_fallbacks: self.stats.cg_fallbacks(),
+            ..SolverStats::default()
+        };
+        for stripe in &self.sparse_matrix.stripes {
+            for m in stripe.lock().expect("plan cache stripe lock").values() {
+                agg.solves += m.solve_count();
+                agg.cg_iterations += m.cg_iterations();
+            }
+        }
+        agg
     }
 
     /// The current matrix-mechanism path policy.
@@ -518,7 +607,8 @@ mod tests {
             .planned_matrix("identity/8", 8, dense_build, sparse_build)
             .unwrap();
         assert!(p.is_sparse());
-        assert_eq!(p.apply_method(), PinvApply::IterativeCg);
+        // The identity Gram is trivially within the factor budgets.
+        assert_eq!(p.apply_method(), PinvApply::Factored);
         assert_eq!(p.delta_a(), 1.0);
         assert_eq!(cache.stats().pseudoinverse_builds(), 1);
         assert_eq!(cache.stats().sparse_matrix_builds(), 1);
@@ -541,6 +631,33 @@ mod tests {
         for (a, b) in nd.iter().zip(&ns) {
             assert!((a - b).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn gram_solvers_are_shared_and_counted_by_outcome() {
+        use blowfish_linalg::CgOptions;
+        use blowfish_mechanisms::{hierarchical_strategy_sparse, GramSolver};
+        let cache = PlanCache::new();
+        let opts = CgOptions {
+            tol: 1e-12,
+            max_iter: 0,
+        };
+        let strategy = hierarchical_strategy_sparse(64);
+        let a = cache.gram_solver("gram/hierarchical/64", || GramSolver::plan(&strategy, opts));
+        let b = cache.gram_solver("gram/hierarchical/64", || GramSolver::plan(&strategy, opts));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.is_factored());
+        assert_eq!(cache.stats().sparse_factorizations(), 1);
+        assert_eq!(cache.stats().cg_fallbacks(), 0);
+        // A solver that declines to factor is counted as a CG fallback.
+        let c = cache.gram_solver("gram/forced-cg/64", || GramSolver::plan_cg(&strategy, opts));
+        assert!(!c.is_factored());
+        assert_eq!(cache.stats().cg_fallbacks(), 1);
+        // Runtime aggregation sees the factorization split.
+        let stats = cache.solver_stats();
+        assert_eq!(stats.sparse_factorizations, 1);
+        assert_eq!(stats.cg_fallbacks, 1);
+        assert_eq!(stats.solves, 0);
     }
 
     #[test]

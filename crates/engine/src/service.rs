@@ -162,6 +162,9 @@ pub enum Response {
         tenants: Vec<TenantStats>,
         /// Total artifact derivations in the shared plan cache.
         artifact_builds: usize,
+        /// Aggregated sparse-solver activity: which apply path releases
+        /// are taking and what they cost.
+        solver: crate::plan::SolverStats,
     },
 }
 
@@ -398,6 +401,7 @@ impl Service {
         Ok(Response::Stats {
             tenants: rows,
             artifact_builds: self.cache.stats().total_builds(),
+            solver: self.cache.solver_stats(),
         })
     }
 }
@@ -478,6 +482,7 @@ mod tests {
             Response::Stats {
                 tenants,
                 artifact_builds,
+                solver,
             } => {
                 assert_eq!(tenants.len(), 1);
                 assert_eq!(tenants[0].fits, 1);
@@ -486,6 +491,8 @@ mod tests {
                 // artifact class, so builds may legitimately be zero —
                 // just assert the counter is readable.
                 let _ = artifact_builds;
+                // No matrix mechanism ran: the solver aggregate is zero.
+                assert_eq!(solver, crate::plan::SolverStats::default());
             }
             other => panic!("expected Stats, got {other:?}"),
         }

@@ -25,12 +25,12 @@ use std::sync::{Arc, Mutex};
 
 use rand::RngCore;
 
-use blowfish_core::{Charge, DataVector, Domain, Epsilon, Ledger, PolicyGraph, Vtx};
+use blowfish_core::{Charge, DataVector, Domain, Epsilon, Ledger, PolicyGraph, Vtx, Workload};
 use blowfish_linalg::{Matrix, SparseMatrix};
 use blowfish_mechanisms::{
     hierarchical_strategy, hierarchical_strategy_sparse, identity_strategy,
-    identity_strategy_sparse, wavelet_strategy, wavelet_strategy_sparse, MatrixMechanism,
-    MechanismError, SparseMatrixMechanism,
+    identity_strategy_sparse, wavelet_strategy, wavelet_strategy_sparse, GramSolver,
+    MatrixMechanism, MechanismError, SparseMatrixMechanism,
 };
 use blowfish_strategies::{
     DawaBaseline1d, DawaBaseline2d, Estimate, GridMechanism, LaplaceBaseline, LineMechanism,
@@ -518,6 +518,7 @@ impl Session {
                 | MechanismSpec::Dawa1d
                 | MechanismSpec::Dawa2d
                 | MechanismSpec::MatrixHist { .. }
+                | MechanismSpec::MatrixRange { .. }
                 | MechanismSpec::Tree(_),
                 _,
             ) => Ok(()),
@@ -604,13 +605,26 @@ impl Session {
                     &key,
                     k,
                     || dense_matrix_hist(*strategy, k),
-                    || sparse_matrix_hist(*strategy, k),
+                    || sparse_matrix_hist(&self.cache, *strategy, k),
                 )?;
                 Arc::new(MatrixHistMechanism {
                     name: spec.id(),
                     eps,
                     domain: self.domain.clone(),
                     planned,
+                })
+            }
+            MechanismSpec::MatrixRange { strategy } => {
+                let k = self.domain.size();
+                let key = format!("mm-range/{}/{k}", strategy.id());
+                let mech = self.cache.sparse_matrix_mechanism(&key, || {
+                    sparse_matrix_range(&self.cache, *strategy, k)
+                })?;
+                Arc::new(MatrixRangeMechanism {
+                    name: spec.id(),
+                    eps,
+                    domain: self.domain.clone(),
+                    mech,
                 })
             }
         })
@@ -655,6 +669,48 @@ impl Mechanism for MatrixHistMechanism {
     }
 }
 
+/// The matrix mechanism on the dyadic range workload `W = D_k` as a
+/// servable [`Mechanism`]. `fit` releases the reconstructed domain
+/// estimate `x̂ = x + A⁺η` — the noisy object every workload answer
+/// `W x̂` is a linear function of — so the resulting [`Estimate`]
+/// answers ranges exactly as the mechanism's releases would. Served
+/// exclusively through the sparse path: the dense mechanism stores only
+/// `W A⁺` and cannot reconstruct `x̂`.
+struct MatrixRangeMechanism {
+    name: String,
+    eps: Epsilon,
+    domain: Domain,
+    mech: Arc<SparseMatrixMechanism>,
+}
+
+impl std::fmt::Debug for MatrixRangeMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatrixRangeMechanism")
+            .field("name", &self.name)
+            .field("apply", &self.mech.apply_method())
+            .field("ranges", &self.mech.workload().rows())
+            .finish()
+    }
+}
+
+impl Mechanism for MatrixRangeMechanism {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn epsilon(&self) -> Epsilon {
+        self.eps
+    }
+
+    fn fit(&self, x: &DataVector, rng: &mut dyn RngCore) -> Result<Estimate, StrategyError> {
+        let xhat = self
+            .mech
+            .reconstruct(x.counts(), self.eps, rng)
+            .map_err(StrategyError::Mechanism)?;
+        Estimate::new(&self.domain, xhat)
+    }
+}
+
 /// The dense matrix-hist plan: identity workload, dense strategy matrix,
 /// materialized `W A⁺` (the k ≲ 512 reference path).
 fn dense_matrix_hist(
@@ -669,18 +725,54 @@ fn dense_matrix_hist(
     MatrixMechanism::new(Matrix::identity(k), strategy)
 }
 
-/// The sparse matrix-hist plan: CSR identity workload and strategy,
-/// `A⁺` applied per release by matrix-free normal-equation CG.
-fn sparse_matrix_hist(
-    kind: MatrixStrategyKind,
-    k: usize,
-) -> Result<SparseMatrixMechanism, MechanismError> {
-    let strategy = match kind {
+/// The strategy matrix for a sparse plan, in CSR form.
+fn sparse_strategy(kind: MatrixStrategyKind, k: usize) -> SparseMatrix {
+    match kind {
         MatrixStrategyKind::Identity => identity_strategy_sparse(k),
         MatrixStrategyKind::Hierarchical => hierarchical_strategy_sparse(k),
         MatrixStrategyKind::Wavelet => wavelet_strategy_sparse(k),
-    };
-    SparseMatrixMechanism::new(SparseMatrix::identity(k), strategy)
+    }
+}
+
+/// The strategy's shared normal-equation solver, planned at most once
+/// per `(strategy, k)` across every workload that uses it (`mm-hist`
+/// and `mm-range` share one factorization).
+fn shared_gram_solver(
+    cache: &PlanCache,
+    kind: MatrixStrategyKind,
+    k: usize,
+    strategy: &SparseMatrix,
+) -> Arc<GramSolver> {
+    cache.gram_solver(&format!("gram/{}/{k}", kind.id()), || {
+        GramSolver::plan(strategy, SparseMatrixMechanism::DEFAULT_CG_OPTIONS)
+    })
+}
+
+/// The sparse matrix-hist plan: CSR identity workload and strategy,
+/// `A⁺` applied per release through the strategy's cached gram solver —
+/// triangular solves when it factored, preconditioned CG otherwise.
+fn sparse_matrix_hist(
+    cache: &PlanCache,
+    kind: MatrixStrategyKind,
+    k: usize,
+) -> Result<SparseMatrixMechanism, MechanismError> {
+    let strategy = sparse_strategy(kind, k);
+    let solver = shared_gram_solver(cache, kind, k, &strategy);
+    SparseMatrixMechanism::with_solver(SparseMatrix::identity(k), strategy, solver)
+}
+
+/// The sparse matrix-range plan: the dyadic range workload `D_k` as a
+/// real W ≠ I in CSR form, over the same shared gram solver as the
+/// histogram plan.
+fn sparse_matrix_range(
+    cache: &PlanCache,
+    kind: MatrixStrategyKind,
+    k: usize,
+) -> Result<SparseMatrixMechanism, MechanismError> {
+    let strategy = sparse_strategy(kind, k);
+    let solver = shared_gram_solver(cache, kind, k, &strategy);
+    let w = Workload::dyadic_ranges_1d(k).to_sparse_matrix();
+    SparseMatrixMechanism::with_solver(w, strategy, solver)
 }
 
 #[cfg(test)]
@@ -1063,6 +1155,103 @@ mod tests {
         let est = m.fit(&x, &mut StdRng::seed_from_u64(5)).unwrap();
         assert_eq!(est.histogram().len(), k);
         assert!(est.histogram().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn matrix_hist_above_threshold_serves_from_one_factorization() {
+        // The factor-once contract at serving scale: Auto routes k =
+        // 16 384 sparse, the budget cascade factors the rotated Gram
+        // exactly once, and repeated releases spend zero CG iterations.
+        let k = 16_384;
+        let graph = PolicyGraph::theta_line(k, 4).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let session = Session::new(&graph, eps).unwrap();
+        let spec = MechanismSpec::MatrixHist {
+            strategy: MatrixStrategyKind::Hierarchical,
+        };
+        let m = session.mechanism(&spec).unwrap();
+        let x = DataVector::new(Domain::one_dim(k), vec![1.0; k]).unwrap();
+        for seed in 0..3 {
+            m.fit(&x, &mut StdRng::seed_from_u64(seed)).unwrap();
+        }
+        let stats = session.cache().stats();
+        assert_eq!(stats.sparse_factorizations(), 1);
+        assert_eq!(stats.cg_fallbacks(), 0);
+        let solver = session.cache().solver_stats();
+        assert_eq!(solver.solves, 3);
+        assert_eq!(solver.cg_iterations, 0);
+    }
+
+    #[test]
+    fn matrix_range_serves_w_neq_i_through_the_shared_factorization() {
+        // The W ≠ I acceptance path: a dyadic range workload at
+        // k = 16 384 over the hierarchical strategy, releases served
+        // from the reconstructed x̂ through the sparse path, with the
+        // factorization planned once and *shared* with the histogram
+        // spec across repeated releases.
+        let k = 16_384;
+        let graph = PolicyGraph::theta_line(k, 4).unwrap();
+        let eps = Epsilon::new(1.0).unwrap();
+        let session = Session::new(&graph, eps).unwrap();
+        let range_spec = MechanismSpec::MatrixRange {
+            strategy: MatrixStrategyKind::Hierarchical,
+        };
+        let m = session.mechanism(&range_spec).unwrap();
+        assert_eq!(session.cache().stats().sparse_matrix_builds(), 1);
+        assert_eq!(session.cache().stats().pseudoinverse_builds(), 0);
+        let x = DataVector::new(Domain::one_dim(k), vec![2.0; k]).unwrap();
+        for seed in 0..3 {
+            let est = m.fit(&x, &mut StdRng::seed_from_u64(seed)).unwrap();
+            assert_eq!(est.histogram().len(), k);
+            assert!(est.histogram().iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(session.cache().stats().sparse_factorizations(), 1);
+        // The histogram spec over the same strategy reuses the solver:
+        // still exactly one factorization in the cache.
+        session
+            .mechanism(&MechanismSpec::MatrixHist {
+                strategy: MatrixStrategyKind::Hierarchical,
+            })
+            .unwrap();
+        assert_eq!(session.cache().stats().sparse_factorizations(), 1);
+        assert_eq!(session.cache().stats().cg_fallbacks(), 0);
+        assert_eq!(session.cache().solver_stats().cg_iterations, 0);
+    }
+
+    #[test]
+    fn matrix_range_fit_answers_ranges_like_direct_releases() {
+        // At reference scale, the Estimate a MatrixRange fit stores must
+        // answer the workload exactly as W x̂ — and x̂ itself must match
+        // the dense-path reconstruction from equal seeds.
+        let k = 64;
+        let graph = PolicyGraph::line(k).unwrap();
+        let eps = Epsilon::new(0.8).unwrap();
+        let session = Session::new(&graph, eps).unwrap();
+        session
+            .cache()
+            .set_matrix_mode(crate::plan::MatrixPathMode::ForceSparse);
+        let spec = MechanismSpec::MatrixRange {
+            strategy: MatrixStrategyKind::Hierarchical,
+        };
+        let m = session.mechanism(&spec).unwrap();
+        let x =
+            DataVector::new(Domain::one_dim(k), (0..k).map(|i| (i % 5) as f64).collect()).unwrap();
+        let est = m.fit(&x, &mut StdRng::seed_from_u64(21)).unwrap();
+        // Rebuild the same mechanism object directly and compare W x̂.
+        let mech =
+            sparse_matrix_range(session.cache(), MatrixStrategyKind::Hierarchical, k).unwrap();
+        let xhat = mech
+            .reconstruct(x.counts(), eps.half(), &mut StdRng::seed_from_u64(21))
+            .unwrap();
+        for (a, b) in est.histogram().iter().zip(&xhat) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        let w = Workload::dyadic_ranges_1d(k);
+        let from_est = w.answer(est.histogram()).unwrap();
+        let direct = mech.workload().matvec(&xhat).unwrap();
+        for (a, b) in from_est.iter().zip(&direct) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+        }
     }
 
     #[test]

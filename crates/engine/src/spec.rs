@@ -64,6 +64,16 @@ pub enum MechanismSpec {
         /// Which strategy matrix answers the histogram.
         strategy: MatrixStrategyKind,
     },
+    /// The ε-DP matrix mechanism serving a real W ≠ I workload: the
+    /// dyadic 1-D range workload answered from the reconstructed domain
+    /// estimate `x̂ = x + A⁺η`. Served exclusively through the sparse
+    /// path (the dense mechanism stores only `W A⁺` and cannot
+    /// reconstruct `x̂`), sharing the strategy's cached gram solver with
+    /// [`MechanismSpec::MatrixHist`].
+    MatrixRange {
+        /// Which strategy matrix answers the ranges.
+        strategy: MatrixStrategyKind,
+    },
 }
 
 /// Strategy matrices the [`MechanismSpec::MatrixHist`] mechanism plans
@@ -111,7 +121,9 @@ impl MechanismSpec {
             MechanismSpec::Line(e) | MechanismSpec::Tree(e) => e.name(),
             MechanismSpec::ThetaLine { estimator, .. } => estimator.name(),
             MechanismSpec::Grid | MechanismSpec::ThetaGrid { .. } => "Transformed + Privelet",
-            MechanismSpec::MatrixHist { .. } => "Matrix Mechanism",
+            MechanismSpec::MatrixHist { .. } | MechanismSpec::MatrixRange { .. } => {
+                "Matrix Mechanism"
+            }
         }
     }
 
@@ -132,6 +144,7 @@ impl MechanismSpec {
             MechanismSpec::Grid => "grid".into(),
             MechanismSpec::ThetaGrid { theta } => format!("theta-grid-{theta}"),
             MechanismSpec::MatrixHist { strategy } => format!("mm-hist-{}", strategy.id()),
+            MechanismSpec::MatrixRange { strategy } => format!("mm-range-{}", strategy.id()),
         }
     }
 
@@ -168,6 +181,10 @@ impl MechanismSpec {
             return MatrixStrategyKind::parse(rest)
                 .map(|strategy| MechanismSpec::MatrixHist { strategy });
         }
+        if let Some(rest) = id.strip_prefix("mm-range-") {
+            return MatrixStrategyKind::parse(rest)
+                .map(|strategy| MechanismSpec::MatrixRange { strategy });
+        }
         None
     }
 
@@ -183,6 +200,7 @@ impl MechanismSpec {
                 | MechanismSpec::Dawa1d
                 | MechanismSpec::Dawa2d
                 | MechanismSpec::MatrixHist { .. }
+                | MechanismSpec::MatrixRange { .. }
         )
     }
 
@@ -231,6 +249,7 @@ impl MechanismSpec {
             MatrixStrategyKind::Wavelet,
         ] {
             out.push(MechanismSpec::MatrixHist { strategy: s });
+            out.push(MechanismSpec::MatrixRange { strategy: s });
         }
         out
     }
@@ -320,6 +339,21 @@ mod tests {
             assert_eq!(MechanismSpec::parse(id), Some(spec));
         }
         assert!(MechanismSpec::parse("mm-hist-nope").is_none());
+    }
+
+    #[test]
+    fn matrix_range_ids_round_trip() {
+        for (kind, id) in [
+            (MatrixStrategyKind::Identity, "mm-range-identity"),
+            (MatrixStrategyKind::Hierarchical, "mm-range-hierarchical"),
+            (MatrixStrategyKind::Wavelet, "mm-range-wavelet"),
+        ] {
+            let spec = MechanismSpec::MatrixRange { strategy: kind };
+            assert_eq!(spec.id(), id);
+            assert_eq!(MechanismSpec::parse(id), Some(spec));
+            assert!(spec.is_baseline());
+        }
+        assert!(MechanismSpec::parse("mm-range-nope").is_none());
     }
 
     #[test]

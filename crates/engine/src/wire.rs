@@ -416,9 +416,15 @@ impl Codec {
                 service::Response::Stats {
                     tenants,
                     artifact_builds,
+                    solver,
                 } => {
                     let mut out = format!(
-                        "ok stats builds={artifact_builds} tenants={}",
+                        "ok stats builds={artifact_builds} solves={} cg_iters={} \
+                         factored={} cg_fallback={} tenants={}",
+                        solver.solves,
+                        solver.cg_iterations,
+                        solver.sparse_factorizations,
+                        solver.cg_fallbacks,
                         tenants.len()
                     );
                     for t in tenants {
@@ -890,6 +896,10 @@ mod tests {
         assert!(answer.starts_with("ok answer 2 "), "{answer}");
         let stats = ok(&service, "stats acme");
         assert!(stats.contains("acme spent=0.5"), "{stats}");
+        // Solver observability flows through the stats verb.
+        assert!(stats.contains("solves="), "{stats}");
+        assert!(stats.contains("factored="), "{stats}");
+        assert!(stats.contains("cg_fallback="), "{stats}");
         // Explicit mechanism id path (a baseline charges ε/2).
         let fit2 = ok(&service, "fit acme as=r2 mech=dp-laplace seed=1");
         assert!(fit2.contains("charged=0.25"), "{fit2}");

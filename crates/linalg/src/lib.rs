@@ -26,16 +26,22 @@ pub mod dense;
 pub mod eigen;
 pub mod lu;
 pub mod sparse;
+pub mod sparse_cholesky;
 pub mod svd;
 
 pub use cg::{
-    conjugate_gradient, solve_gram_system, solve_normal_equations, CgOptions, CgSolution,
+    conjugate_gradient, solve_gram_system, solve_gram_system_with, solve_normal_equations,
+    solve_normal_equations_with, CgOptions, CgSolution, CgWorkspace, GramPreconditioner,
 };
 pub use cholesky::Cholesky;
 pub use dense::{add_vec, axpy, dot, norm1, norm2, norm_inf, sub_vec, ColView, Matrix};
 pub use eigen::{eigenvalues, eigh, jacobi_eigh, sqrt_psd, SymmetricEigen};
 pub use lu::Lu;
 pub use sparse::{SparseMatrix, TripletBuilder};
+pub use sparse_cholesky::{
+    dyadic_haar_basis, incomplete_cholesky0, rcm_ordering, CholeskyOrdering, SparseCholesky,
+    SymbolicCholesky,
+};
 pub use svd::{
     is_pseudoinverse, pseudoinverse, pseudoinverse_eigen, pseudoinverse_with_method, rank,
     singular_values, PinvMethod,
@@ -82,6 +88,15 @@ pub enum LinalgError {
         /// The iteration budget that was exhausted.
         iterations: usize,
     },
+    /// A symbolic Cholesky analysis predicted more factor fill than the
+    /// caller's budget allows (the analysis aborts early, so
+    /// `predicted_at_least` is a lower bound on the true fill).
+    FillBudgetExceeded {
+        /// Running nnz(L) when the analysis aborted.
+        predicted_at_least: usize,
+        /// The fill budget that was exceeded.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -105,6 +120,15 @@ impl std::fmt::Display for LinalgError {
             }
             LinalgError::NoConvergence { what, iterations } => {
                 write!(f, "{what} did not converge within {iterations} iterations")
+            }
+            LinalgError::FillBudgetExceeded {
+                predicted_at_least,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "cholesky fill budget exceeded: ≥{predicted_at_least} nnz predicted, cap {cap}"
+                )
             }
         }
     }

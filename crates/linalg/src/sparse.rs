@@ -319,15 +319,84 @@ impl SparseMatrix {
         }
     }
 
-    /// Transpose as a new CSR matrix.
-    pub fn transpose(&self) -> SparseMatrix {
-        let mut b = TripletBuilder::new(self.cols, self.rows);
+    /// Largest entry magnitude (0 for a matrix with no stored entries).
+    pub fn max_abs(&self) -> f64 {
+        let mut m = 0.0f64;
         for i in 0..self.rows {
-            for (j, v) in self.row(i) {
-                b.push(j, i, v);
+            for (_, v) in self.row(i) {
+                m = m.max(v.abs());
             }
         }
-        b.build()
+        m
+    }
+
+    /// A copy with every entry of magnitude ≤ `tol` dropped from the
+    /// stored pattern.
+    ///
+    /// Sparse products of structurally-cancelling operands (e.g. a
+    /// dyadic strategy times a Haar basis, where whole wavelet columns
+    /// sum to zero across a row's support) leave rounding residue at
+    /// entries that are mathematically zero: partial sums `m·x` round
+    /// for non-power-of-two `m`, so the cancellation comes back as
+    /// ~1e-13 instead of 0.0. Those phantom entries are numerically
+    /// irrelevant but **structurally ruinous** — they densify the
+    /// product's Gram and break the chordal zero-fill pattern a
+    /// downstream sparse Cholesky depends on. Callers prune with a
+    /// tolerance well below the smallest true entry (see
+    /// `GramSolver::plan`).
+    pub fn dropping_below(&self, tol: f64) -> SparseMatrix {
+        // Filtering preserves the canonical CSR order: assemble directly.
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                if v.abs() > tol {
+                    indices.push(j);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Transpose as a new CSR matrix (counting pass, no triplet sort: a
+    /// CSR walk emits each output row's columns in ascending order).
+    pub fn transpose(&self) -> SparseMatrix {
+        let nnz = self.nnz();
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            indptr[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            indptr[j + 1] += indptr[j];
+        }
+        let mut next = indptr.clone();
+        let mut indices = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                let slot = next[j];
+                indices[slot] = i;
+                values[slot] = v;
+                next[j] += 1;
+            }
+        }
+        SparseMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Sparse-sparse product `self * other` (CSR x CSR -> CSR).
@@ -338,28 +407,44 @@ impl SparseMatrix {
                 got: (other.rows, other.cols),
             });
         }
-        let mut b = TripletBuilder::new(self.rows, other.cols);
-        // Scratch accumulator per output row (sparse accumulation pattern).
+        // Sparse accumulation per output row; each row's touched set is
+        // sorted locally and appended, so no global triplet sort.
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
         let mut acc: Vec<f64> = vec![0.0; other.cols];
+        let mut occupied: Vec<bool> = vec![false; other.cols];
         let mut touched: Vec<usize> = Vec::new();
         for i in 0..self.rows {
             for (k, v) in self.row(i) {
                 for (j, w) in other.row(k) {
-                    if acc[j] == 0.0 {
+                    if !occupied[j] {
+                        occupied[j] = true;
                         touched.push(j);
                     }
                     acc[j] += v * w;
                 }
             }
+            touched.sort_unstable();
             for &j in &touched {
                 if acc[j] != 0.0 {
-                    b.push(i, j, acc[j]);
+                    indices.push(j);
+                    values.push(acc[j]);
                 }
                 acc[j] = 0.0;
+                occupied[j] = false;
             }
             touched.clear();
+            indptr.push(indices.len());
         }
-        Ok(b.build())
+        Ok(SparseMatrix {
+            rows: self.rows,
+            cols: other.cols,
+            indptr,
+            indices,
+            values,
+        })
     }
 
     /// Converts to a dense matrix.
@@ -521,6 +606,29 @@ mod tests {
         let dense = m.to_dense();
         let expected = dense.matmul(&dense.transpose()).unwrap();
         assert!(p.to_dense().approx_eq(&expected, 1e-12));
+    }
+
+    #[test]
+    fn max_abs_and_dropping_below() {
+        let mut b = TripletBuilder::new(2, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, -4.0);
+        b.push(1, 1, 1e-13);
+        b.push(1, 2, -2e-13);
+        let m = b.build();
+        assert_eq!(m.max_abs(), 4.0);
+        let pruned = m.dropping_below(1e-10);
+        assert_eq!(pruned.nnz(), 2);
+        assert_eq!(pruned.rows(), 2);
+        assert_eq!(pruned.cols(), 3);
+        assert_eq!(pruned.get(0, 0), 1.0);
+        assert_eq!(pruned.get(0, 2), -4.0);
+        assert_eq!(pruned.get(1, 1), 0.0);
+        // Canonical CSR out: round-trips through dense unchanged.
+        assert_eq!(SparseMatrix::from_dense(&pruned.to_dense()), pruned);
+        assert_eq!(SparseMatrix::zeros(2, 2).max_abs(), 0.0);
+        // tol = 0 keeps every stored entry.
+        assert_eq!(m.dropping_below(0.0), m);
     }
 
     #[test]

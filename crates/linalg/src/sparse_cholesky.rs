@@ -1,0 +1,937 @@
+//! Sparse Cholesky factorization: factor the Gram matrix once, serve
+//! releases forever with two O(nnz(L)) triangular solves.
+//!
+//! The matrix mechanism is a plan-once/serve-many system — the strategy
+//! `A` is fixed at plan time, so the normal-equations operator `AᵀA` is
+//! too. Re-running Jacobi-PCG on every release re-pays O(iters · nnz)
+//! per release; this module factors `P G Pᵀ = L Lᵀ` **once** and turns
+//! each release into a forward solve, a back solve, and two index
+//! permutations.
+//!
+//! # Ordering choice
+//!
+//! Fill-in is decided entirely by the elimination order. We implement
+//! reverse Cuthill–McKee ([`rcm_ordering`]) — BFS from a
+//! pseudo-peripheral vertex, neighbors visited by increasing degree,
+//! order reversed — which confines fill to a narrow band for the
+//! mesh/band-like graphs that policy Gram matrices produce.
+//! [`CholeskyOrdering::Auto`] runs the **symbolic pass only** (O(nnz)
+//! time, O(n) space, no numerics) under both the natural and the RCM
+//! order and keeps whichever predicts less fill: for Gram matrices that
+//! arrive in a perfect elimination order — notably [`dyadic_haar_basis`]
+//! rotations of hierarchical strategies, whose tree-ancestor sparsity is
+//! chordal with *zero* fill in leaf-first order — natural wins and RCM
+//! is discarded without ever touching a value.
+//!
+//! # Symbolic / numeric split
+//!
+//! [`SymbolicCholesky::analyze`] computes the elimination tree (CSparse
+//! `cs_etree` with path compression) and per-column nonzero counts of
+//! `L` in one O(nnz·α) sweep, optionally aborting early once predicted
+//! fill exceeds a cap (so a structurally dense Gram costs O(cap), not
+//! O(n²), to reject). The symbolic object — permutation, parent array,
+//! column pointers — is reusable across **numeric refactors**:
+//! [`SymbolicCholesky::factorize`] is an up-looking numeric pass
+//! (CSparse `cs_chol`: `ereach` row patterns in topological order, dense
+//! scatter, per-column write cursors) that can be called again whenever
+//! the strategy's *values* change but its *pattern* does not.
+//!
+//! # IC(0) fallback rule
+//!
+//! When the symbolic pass predicts fill beyond the caller's budget, a
+//! complete factor would blow the O(nnz) memory story — but the no-fill
+//! positions of `L` still capture most of the operator. Callers use
+//! [`incomplete_cholesky0`] — same up-looking kernel, pattern pinned to
+//! `lower(G)`, fill dropped by position — as a PCG preconditioner in
+//! that regime. IC(0) can break down (`d ≤ 0`) on matrices where full
+//! Cholesky would succeed; breakdown is a typed
+//! [`LinalgError::NotPositiveDefinite`] and callers fall back to Jacobi
+//! PCG, so no input ever regresses past the pre-factorization path.
+
+use crate::sparse::{SparseMatrix, TripletBuilder};
+use crate::LinalgError;
+
+const NONE: usize = usize::MAX;
+
+/// Fill-reducing elimination order for [`SymbolicCholesky::analyze`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CholeskyOrdering {
+    /// Factor in the matrix's given order. Optimal when the matrix is
+    /// already in a perfect elimination order (e.g. the leaf-first
+    /// tree-ancestor Gram produced by a [`dyadic_haar_basis`] rotation).
+    Natural,
+    /// Reverse Cuthill–McKee bandwidth reduction over the adjacency of
+    /// the Gram matrix.
+    ReverseCuthillMcKee,
+    /// Run the symbolic pass under both orders and keep whichever
+    /// predicts less fill.
+    Auto,
+}
+
+impl std::fmt::Display for CholeskyOrdering {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholeskyOrdering::Natural => write!(f, "natural"),
+            CholeskyOrdering::ReverseCuthillMcKee => write!(f, "rcm"),
+            CholeskyOrdering::Auto => write!(f, "auto"),
+        }
+    }
+}
+
+/// Reverse Cuthill–McKee ordering of a symmetric sparse matrix's
+/// adjacency graph. Returns `perm` with `perm[new] = old`; every
+/// connected component is swept by BFS from a pseudo-peripheral start
+/// (min-degree seed, one George–Liu re-rooting sweep), neighbors taken
+/// by increasing degree, and the whole order reversed.
+pub fn rcm_ordering(g: &SparseMatrix) -> Vec<usize> {
+    let n = g.rows();
+    let degree: Vec<usize> = (0..n).map(|i| g.row_nnz(i)).collect();
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    // One BFS sweep from `start`, appending into `out`; returns the last
+    // vertex reached (a peripheral candidate).
+    let bfs = |start: usize, seen: &mut Vec<bool>, out: &mut Vec<usize>| -> usize {
+        let mut q = std::collections::VecDeque::new();
+        let mut nb: Vec<usize> = Vec::new();
+        seen[start] = true;
+        q.push_back(start);
+        let mut last = start;
+        while let Some(v) = q.pop_front() {
+            out.push(v);
+            last = v;
+            nb.clear();
+            nb.extend(g.row(v).map(|(j, _)| j).filter(|&j| j != v && !seen[j]));
+            nb.sort_unstable_by_key(|&j| (degree[j], j));
+            for &j in &nb {
+                if !seen[j] {
+                    seen[j] = true;
+                    q.push_back(j);
+                }
+            }
+        }
+        last
+    };
+
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        // Min-degree unvisited vertex of this component as the seed …
+        let mut start = seed;
+        // … then re-root at the far end of one BFS (pseudo-peripheral).
+        let mut probe_seen = visited.clone();
+        let mut scratch = Vec::new();
+        let far = bfs(start, &mut probe_seen, &mut scratch);
+        let min_deg = scratch.iter().map(|&v| degree[v]).min().unwrap_or(0);
+        if degree[far] <= min_deg + 1 {
+            start = far;
+        }
+        bfs(start, &mut visited, &mut order);
+    }
+    order.reverse();
+    order
+}
+
+/// The reusable symbolic half of a sparse Cholesky factorization:
+/// permutation, elimination tree, and the exact column pointers of `L`.
+/// Produced by [`SymbolicCholesky::analyze`]; turn it into numbers with
+/// [`SymbolicCholesky::factorize`] (repeatably, across numeric
+/// refactors of a fixed pattern).
+#[derive(Clone, Debug)]
+pub struct SymbolicCholesky {
+    n: usize,
+    /// `perm[new] = old` — the elimination order.
+    perm: Vec<usize>,
+    /// `perm_inv[old] = new`.
+    perm_inv: Vec<usize>,
+    /// Elimination tree over permuted indices (`NONE` = root).
+    parent: Vec<usize>,
+    /// CSC column pointers of `L` (length `n + 1`), diagonal-first.
+    colptr: Vec<usize>,
+    /// Which ordering produced this analysis.
+    ordering: CholeskyOrdering,
+}
+
+impl SymbolicCholesky {
+    /// Symbolic analysis of the SPD matrix `g` under `ordering`.
+    ///
+    /// With `fill_cap = Some(cap)`, the per-column count sweep aborts
+    /// with [`LinalgError::FillBudgetExceeded`] as soon as the running
+    /// nnz(L) passes `cap` — O(cap) work to reject a dense factor,
+    /// never O(n²). `Auto` tries natural first, then RCM, and keeps the
+    /// sparser prediction.
+    pub fn analyze(
+        g: &SparseMatrix,
+        ordering: CholeskyOrdering,
+        fill_cap: Option<usize>,
+    ) -> Result<SymbolicCholesky, LinalgError> {
+        if g.rows() != g.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: g.rows(),
+                cols: g.cols(),
+            });
+        }
+        match ordering {
+            CholeskyOrdering::Natural => {
+                let perm: Vec<usize> = (0..g.rows()).collect();
+                Self::analyze_with_perm(g, perm, CholeskyOrdering::Natural, fill_cap)
+            }
+            CholeskyOrdering::ReverseCuthillMcKee => Self::analyze_with_perm(
+                g,
+                rcm_ordering(g),
+                CholeskyOrdering::ReverseCuthillMcKee,
+                fill_cap,
+            ),
+            CholeskyOrdering::Auto => {
+                let natural = Self::analyze(g, CholeskyOrdering::Natural, fill_cap);
+                // Cap the RCM probe at the natural fill: RCM only has to
+                // beat the incumbent, never explore past it.
+                let rcm_cap = match (&natural, fill_cap) {
+                    (Ok(s), _) => Some(s.nnz_l()),
+                    (Err(_), cap) => cap,
+                };
+                let rcm = Self::analyze(g, CholeskyOrdering::ReverseCuthillMcKee, rcm_cap);
+                match (natural, rcm) {
+                    (Ok(a), Ok(b)) => Ok(if b.nnz_l() < a.nnz_l() { b } else { a }),
+                    (Ok(a), Err(_)) => Ok(a),
+                    (Err(_), Ok(b)) => Ok(b),
+                    (Err(a), Err(_)) => Err(a),
+                }
+            }
+        }
+    }
+
+    fn analyze_with_perm(
+        g: &SparseMatrix,
+        perm: Vec<usize>,
+        ordering: CholeskyOrdering,
+        fill_cap: Option<usize>,
+    ) -> Result<SymbolicCholesky, LinalgError> {
+        let n = g.rows();
+        let mut perm_inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            perm_inv[old] = new;
+        }
+        // Phase 1 — elimination tree (CSparse `cs_etree`): walk every
+        // lower entry up the partially built forest with **path
+        // compression** (the `ancestor` shortcuts), which finds parents
+        // in near-linear time but visits a compressed path, not the
+        // true one.
+        let mut parent = vec![NONE; n];
+        let mut ancestor = vec![NONE; n];
+        for (k, &pk) in perm.iter().enumerate() {
+            for (jold, _) in g.row(pk) {
+                let mut j = perm_inv[jold];
+                if j >= k {
+                    continue;
+                }
+                while j != NONE && j < k {
+                    let next = ancestor[j];
+                    ancestor[j] = k;
+                    if next == NONE {
+                        parent[j] = k;
+                    }
+                    j = next;
+                }
+            }
+        }
+        // Phase 2 — column counts via true-parent `ereach` walks: for
+        // row k, the columns of L(k, ·) are exactly the nodes on the
+        // (final-)etree paths from each lower entry up to k, each
+        // visited once thanks to the per-row marks. This is the same
+        // pattern the numeric pass will fill in, entry for entry.
+        let mut mark = vec![NONE; n];
+        let mut count = vec![1usize; n]; // diagonal of every column
+        let mut nnz_total = n;
+        for k in 0..n {
+            mark[k] = k;
+            for (jold, _) in g.row(perm[k]) {
+                let mut j = perm_inv[jold];
+                if j >= k {
+                    continue;
+                }
+                // (k is an etree ancestor of every lower entry of row k,
+                // so the walk always terminates at a marked node; the
+                // NONE guard only matters for non-symmetric misuse.)
+                while j != NONE && mark[j] != k {
+                    mark[j] = k;
+                    count[j] += 1;
+                    nnz_total += 1;
+                    if let Some(cap) = fill_cap {
+                        if nnz_total > cap {
+                            return Err(LinalgError::FillBudgetExceeded {
+                                predicted_at_least: nnz_total,
+                                cap,
+                            });
+                        }
+                    }
+                    j = parent[j];
+                }
+            }
+        }
+        let mut colptr = Vec::with_capacity(n + 1);
+        colptr.push(0usize);
+        let mut acc = 0usize;
+        for &c in &count {
+            acc += c;
+            colptr.push(acc);
+        }
+        Ok(SymbolicCholesky {
+            n,
+            perm,
+            perm_inv,
+            parent,
+            colptr,
+            ordering,
+        })
+    }
+
+    /// Predicted nonzeros of `L` (including the diagonal).
+    pub fn nnz_l(&self) -> usize {
+        self.colptr[self.n]
+    }
+
+    /// Dimension of the analyzed matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The ordering that produced this analysis (`Auto` resolves to the
+    /// winner).
+    pub fn ordering(&self) -> CholeskyOrdering {
+        self.ordering
+    }
+
+    /// The elimination order, `perm[new] = old`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Up-looking numeric factorization of `g` into the analyzed
+    /// pattern: `P g Pᵀ = L Lᵀ`. Reusable — call again after any
+    /// same-pattern refactor of `g`'s values. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] on a non-SPD pivot.
+    pub fn factorize(&self, g: &SparseMatrix) -> Result<SparseCholesky, LinalgError> {
+        let n = self.n;
+        if g.rows() != n || g.cols() != n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (n, n),
+                got: (g.rows(), g.cols()),
+            });
+        }
+        let nnz = self.nnz_l();
+        let mut rowind = vec![0usize; nnz];
+        let mut values = vec![0.0f64; nnz];
+        // Per-column write cursor: next free slot past the diagonal.
+        let mut cursor: Vec<usize> = (0..n).map(|j| self.colptr[j] + 1).collect();
+        let mut x = vec![0.0f64; n]; // dense scatter of row k
+        let mut mark = vec![NONE; n];
+        let mut stack = vec![0usize; n]; // ereach output (topological)
+        let mut path = vec![0usize; n]; // one tree path, before reversal
+
+        for k in 0..n {
+            // ereach(k): union of tree paths from row k's lower entries
+            // up to (excl.) k, emitted in topological order.
+            let mut top = n;
+            mark[k] = k;
+            x[k] = 0.0;
+            for (jold, v) in g.row(self.perm[k]) {
+                let j = self.perm_inv[jold];
+                if j > k {
+                    continue;
+                }
+                x[j] = v;
+                let mut len = 0usize;
+                let mut i = j;
+                while i != k && mark[i] != k {
+                    path[len] = i;
+                    len += 1;
+                    mark[i] = k;
+                    i = self.parent[i];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    stack[top] = path[len];
+                }
+            }
+            let mut d = x[k];
+            x[k] = 0.0;
+            for &j in &stack[top..n] {
+                let lkj = x[j] / values[self.colptr[j]];
+                x[j] = 0.0;
+                for p in self.colptr[j] + 1..cursor[j] {
+                    x[rowind[p]] -= values[p] * lkj;
+                }
+                d -= lkj * lkj;
+                let p = cursor[j];
+                cursor[j] += 1;
+                rowind[p] = k;
+                values[p] = lkj;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k });
+            }
+            rowind[self.colptr[k]] = k;
+            values[self.colptr[k]] = d.sqrt();
+        }
+        Ok(SparseCholesky {
+            n,
+            perm: self.perm.clone(),
+            colptr: self.colptr.clone(),
+            rowind,
+            values,
+        })
+    }
+}
+
+/// A numeric sparse Cholesky factor `P G Pᵀ = L Lᵀ` in CSC layout
+/// (diagonal entry first in every column, row indices ascending), with
+/// allocation-free permuted triangular solves.
+#[derive(Clone, Debug)]
+pub struct SparseCholesky {
+    n: usize,
+    perm: Vec<usize>,
+    colptr: Vec<usize>,
+    rowind: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseCholesky {
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Nonzeros stored in `L` (including the diagonal).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The elimination order used, `perm[new] = old`.
+    pub fn permutation(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Solves `G x = b`. Allocates the result and one scratch vector;
+    /// the hot path is [`SparseCholesky::solve_in_place`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if b.len() != self.n {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.n, 1),
+                got: (b.len(), 1),
+            });
+        }
+        let mut x = b.to_vec();
+        let mut scratch = vec![0.0; self.n];
+        self.solve_in_place(&mut x, &mut scratch);
+        Ok(x)
+    }
+
+    /// Solves `G v ← v` in place with zero allocations: permute into
+    /// `scratch`, forward solve `L`, back solve `Lᵀ`, permute back.
+    /// Both slices must have length `n`.
+    pub fn solve_in_place(&self, v: &mut [f64], scratch: &mut [f64]) {
+        debug_assert_eq!(v.len(), self.n);
+        debug_assert_eq!(scratch.len(), self.n);
+        for new in 0..self.n {
+            scratch[new] = v[self.perm[new]];
+        }
+        // Forward: L y = Pb. Diagonal-first CSC makes both sweeps a
+        // single pass over the stored entries.
+        for j in 0..self.n {
+            let yj = scratch[j] / self.values[self.colptr[j]];
+            scratch[j] = yj;
+            for p in self.colptr[j] + 1..self.colptr[j + 1] {
+                scratch[self.rowind[p]] -= self.values[p] * yj;
+            }
+        }
+        // Backward: Lᵀ z = y.
+        for j in (0..self.n).rev() {
+            let mut zj = scratch[j];
+            for p in self.colptr[j] + 1..self.colptr[j + 1] {
+                zj -= self.values[p] * scratch[self.rowind[p]];
+            }
+            scratch[j] = zj / self.values[self.colptr[j]];
+        }
+        for new in 0..self.n {
+            v[self.perm[new]] = scratch[new];
+        }
+    }
+
+    /// The factor `L` as a CSR matrix over **permuted** indices
+    /// (`L L ᵀ = P G Pᵀ`) — for reconstruction tests and inspection.
+    pub fn l_matrix(&self) -> SparseMatrix {
+        let mut b = TripletBuilder::new(self.n, self.n);
+        for j in 0..self.n {
+            for p in self.colptr[j]..self.colptr[j + 1] {
+                b.push(self.rowind[p], j, self.values[p]);
+            }
+        }
+        b.build()
+    }
+}
+
+/// IC(0): incomplete Cholesky with zero fill — the up-looking kernel
+/// with the pattern pinned to `lower(G)` (fill dropped by position), in
+/// natural order. The result is a [`SparseCholesky`] usable as a PCG
+/// preconditioner (`M = L Lᵀ ≈ G`, applied via
+/// [`SparseCholesky::solve_in_place`]).
+///
+/// IC(0) may break down (`d ≤ 0`) on SPD inputs where the complete
+/// factorization would succeed; the typed
+/// [`LinalgError::NotPositiveDefinite`] tells callers to fall back to a
+/// Jacobi preconditioner.
+pub fn incomplete_cholesky0(g: &SparseMatrix) -> Result<SparseCholesky, LinalgError> {
+    let n = g.rows();
+    if g.rows() != g.cols() {
+        return Err(LinalgError::NotSquare {
+            rows: g.rows(),
+            cols: g.cols(),
+        });
+    }
+    // Pattern = lower(G) in CSC, which by symmetry is the tail of each
+    // CSR row: column j's rows are exactly {i ≥ j : G(j, i) ≠ 0}.
+    let mut colptr = Vec::with_capacity(n + 1);
+    colptr.push(0usize);
+    for j in 0..n {
+        let lower = g.row(j).filter(|&(i, _)| i >= j).count();
+        colptr.push(colptr[j] + lower.max(1));
+    }
+    let nnz = colptr[n];
+    let mut rowind = vec![0usize; nnz];
+    let mut values = vec![0.0f64; nnz];
+    let mut cursor: Vec<usize> = (0..n).map(|j| colptr[j] + 1).collect();
+    let mut x = vec![0.0f64; n];
+    let mut mark = vec![NONE; n];
+    let mut pattern = vec![0usize; n];
+
+    for k in 0..n {
+        // Scatter the lower entries of row k and record its fixed
+        // pattern (ascending, from the sorted CSR row).
+        let mut len = 0usize;
+        let mut d = 0.0f64;
+        mark[k] = k;
+        for (j, v) in g.row(k) {
+            if j > k {
+                continue;
+            }
+            if j == k {
+                d = v;
+            } else {
+                x[j] = v;
+                mark[j] = k;
+                pattern[len] = j;
+                len += 1;
+            }
+        }
+        for &j in &pattern[..len] {
+            let lkj = x[j] / values[colptr[j]];
+            x[j] = 0.0;
+            for p in colptr[j] + 1..cursor[j] {
+                let i = rowind[p];
+                // Drop by position: only update entries inside row k's
+                // own pattern (or its diagonal, folded into d below).
+                if mark[i] == k && i != k {
+                    x[i] -= values[p] * lkj;
+                }
+            }
+            d -= lkj * lkj;
+            let p = cursor[j];
+            cursor[j] += 1;
+            rowind[p] = k;
+            values[p] = lkj;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: k });
+        }
+        rowind[colptr[k]] = k;
+        values[colptr[k]] = d.sqrt();
+    }
+    Ok(SparseCholesky {
+        n,
+        perm: (0..n).collect(),
+        colptr,
+        rowind,
+        values,
+    })
+}
+
+/// The orthonormal **unbalanced dyadic Haar basis** `Q` over a domain of
+/// size `k` (any `k ≥ 1`, clipped from the next power of two), as a
+/// `k × k` CSR matrix whose columns are the basis vectors.
+///
+/// Why it matters here: the Gram matrix `AᵀA` of a hierarchical or
+/// wavelet strategy is structurally **dense** (~2k² nonzeros — every
+/// pair of leaves shares a tree ancestor), so no permutation makes it
+/// directly factorable at k = 65 536. But under the congruence
+/// `AᵀA x = b  ⇔  (AQ)ᵀ(AQ) z = Qᵀb, x = Qz`, the rotated strategy
+/// `B = AQ` has ≤ log₂k + 1 nonzeros per row — a dyadic row of `A` has
+/// nonzero inner product only with the Haar vectors of its own
+/// ancestor-or-self tree nodes (every other wavelet sums to zero across
+/// the row's support) — and `BᵀB` has tree-ancestor-pair sparsity
+/// (O(k log k) nonzeros). That pattern is **chordal**: columns are
+/// emitted deepest-first (the total column last), which is a perfect
+/// elimination order, so the natural-order Cholesky factor has *zero
+/// fill*.
+///
+/// Columns are orthonormal (`QᵀQ = I`), so the congruence preserves
+/// conditioning exactly: internal node `t` with clipped child supports
+/// `L`, `R` contributes `(|R|·1_L − |L|·1_R) / √(|L||R|(|L|+|R|))`, and
+/// the final column is `1/√k`.
+pub fn dyadic_haar_basis(k: usize) -> SparseMatrix {
+    assert!(k >= 1, "domain must be non-empty");
+    // Collect (depth, lo, mid, hi) for every tree node with two
+    // non-empty clipped children.
+    let padded = k.next_power_of_two();
+    let mut nodes: Vec<(usize, usize, usize, usize)> = Vec::new();
+    let mut frontier: Vec<(usize, usize, usize)> = vec![(0usize, padded, 0usize)];
+    while let Some((start, size, depth)) = frontier.pop() {
+        if size < 2 || start >= k {
+            continue;
+        }
+        let half = size / 2;
+        let mid = (start + half).min(k);
+        let hi = (start + size).min(k);
+        if mid > start && hi > mid {
+            nodes.push((depth, start, mid, hi));
+        }
+        frontier.push((start, half, depth + 1));
+        if start + half < k {
+            frontier.push((start + half, half, depth + 1));
+        }
+    }
+    // Deepest-first column order makes natural elimination leaf-first.
+    nodes.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    debug_assert_eq!(nodes.len(), k - 1, "a binary tree over k leaves");
+
+    let mut b = TripletBuilder::new(k, k);
+    for (col, &(_, lo, mid, hi)) in nodes.iter().enumerate() {
+        let (nl, nr) = ((mid - lo) as f64, (hi - mid) as f64);
+        let scale = 1.0 / (nl * nr * (nl + nr)).sqrt();
+        for row in lo..mid {
+            b.push(row, col, nr * scale);
+        }
+        for row in mid..hi {
+            b.push(row, col, -(nl * scale));
+        }
+    }
+    let total = 1.0 / (k as f64).sqrt();
+    for row in 0..k {
+        b.push(row, k - 1, total);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::Cholesky;
+    use crate::dense::Matrix;
+
+    /// A small SPD matrix with a 2-D-grid-like sparsity pattern.
+    fn grid_spd(side: usize) -> SparseMatrix {
+        let n = side * side;
+        let mut b = TripletBuilder::new(n, n);
+        for r in 0..side {
+            for c in 0..side {
+                let i = r * side + c;
+                b.push(i, i, 4.5);
+                if c + 1 < side {
+                    b.push(i, i + 1, -1.0);
+                    b.push(i + 1, i, -1.0);
+                }
+                if r + 1 < side {
+                    b.push(i, i + side, -1.0);
+                    b.push(i + side, i, -1.0);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Dense binary hierarchical strategy (mirrors
+    /// `blowfish-mechanisms`), for rotation tests without a cross-crate
+    /// dev dependency.
+    fn hierarchical_dense(k: usize) -> Matrix {
+        let padded = k.next_power_of_two();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut size = padded;
+        loop {
+            let mut start = 0;
+            while start < padded {
+                let mut row = vec![0.0; k];
+                row[start.min(k)..(start + size).min(k)].fill(1.0);
+                if row.iter().any(|&v| v != 0.0) {
+                    rows.push(row);
+                }
+                start += size;
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn factor_and_solve_match_dense_cholesky() {
+        for ordering in [
+            CholeskyOrdering::Natural,
+            CholeskyOrdering::ReverseCuthillMcKee,
+            CholeskyOrdering::Auto,
+        ] {
+            let g = grid_spd(5);
+            let n = g.rows();
+            let sym = SymbolicCholesky::analyze(&g, ordering, None).unwrap();
+            let chol = sym.factorize(&g).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 2.0).collect();
+            let x = chol.solve(&b).unwrap();
+            let dense = Cholesky::factor(&g.to_dense()).unwrap();
+            let x_ref = dense.solve(&b).unwrap();
+            assert_close(&x, &x_ref, 1e-9);
+        }
+    }
+
+    #[test]
+    fn llt_reconstructs_permuted_input() {
+        let g = grid_spd(4);
+        let n = g.rows();
+        let sym =
+            SymbolicCholesky::analyze(&g, CholeskyOrdering::ReverseCuthillMcKee, None).unwrap();
+        let chol = sym.factorize(&g).unwrap();
+        let l = chol.l_matrix().to_dense();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        let perm = chol.permutation();
+        for i in 0..n {
+            for j in 0..n {
+                let expected = g.get(perm[i], perm[j]);
+                assert!(
+                    (llt[(i, j)] - expected).abs() < 1e-10,
+                    "({i},{j}): {} vs {expected}",
+                    llt[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rcm_is_a_permutation_and_round_trips() {
+        let g = grid_spd(6);
+        let perm = rcm_ordering(&g);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.rows()).collect::<Vec<_>>());
+        // Inverse round-trip through a symbolic analysis.
+        let sym =
+            SymbolicCholesky::analyze(&g, CholeskyOrdering::ReverseCuthillMcKee, None).unwrap();
+        let p = sym.permutation();
+        let mut inv = vec![0usize; p.len()];
+        for (new, &old) in p.iter().enumerate() {
+            inv[old] = new;
+        }
+        for old in 0..p.len() {
+            assert_eq!(p[inv[old]], old);
+        }
+    }
+
+    #[test]
+    fn rcm_beats_natural_on_an_arrow_matrix() {
+        // Arrow pointing the wrong way: a dense hub at index 0 gives the
+        // natural order complete fill; RCM orders the hub last → none.
+        let n = 24;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, (n + 2) as f64);
+            if i > 0 {
+                b.push(0, i, 1.0);
+                b.push(i, 0, 1.0);
+            }
+        }
+        let g = b.build();
+        let natural = SymbolicCholesky::analyze(&g, CholeskyOrdering::Natural, None).unwrap();
+        let rcm =
+            SymbolicCholesky::analyze(&g, CholeskyOrdering::ReverseCuthillMcKee, None).unwrap();
+        assert_eq!(natural.nnz_l(), n * (n + 1) / 2, "hub-first fills in");
+        assert_eq!(rcm.nnz_l(), 2 * n - 1, "hub-last has zero fill");
+        let auto = SymbolicCholesky::analyze(&g, CholeskyOrdering::Auto, None).unwrap();
+        assert_eq!(auto.nnz_l(), rcm.nnz_l());
+        assert_eq!(auto.ordering(), CholeskyOrdering::ReverseCuthillMcKee);
+    }
+
+    #[test]
+    fn fill_cap_aborts_early_and_is_typed() {
+        let n = 32;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                b.push(i, j, if i == j { n as f64 } else { -0.5 });
+            }
+        }
+        let g = b.build();
+        let err = SymbolicCholesky::analyze(&g, CholeskyOrdering::Natural, Some(40)).unwrap_err();
+        assert!(matches!(
+            err,
+            LinalgError::FillBudgetExceeded { cap: 40, .. }
+        ));
+        // Without the cap the same matrix analyzes (and factors) fine.
+        let sym = SymbolicCholesky::analyze(&g, CholeskyOrdering::Natural, None).unwrap();
+        assert!(sym.factorize(&g).is_ok());
+    }
+
+    #[test]
+    fn non_positive_definite_pivot_is_typed() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 2.0);
+        b.push(1, 1, 1.0);
+        let g = b.build();
+        let sym = SymbolicCholesky::analyze(&g, CholeskyOrdering::Natural, None).unwrap();
+        assert!(matches!(
+            sym.factorize(&g),
+            Err(LinalgError::NotPositiveDefinite { pivot: 1 })
+        ));
+    }
+
+    #[test]
+    fn haar_basis_is_orthonormal() {
+        for k in [1usize, 2, 3, 6, 8, 13, 32, 100] {
+            let q = dyadic_haar_basis(k);
+            assert_eq!((q.rows(), q.cols()), (k, k));
+            let qtq = q.transpose().matmul(&q).unwrap().to_dense();
+            for i in 0..k {
+                for j in 0..k {
+                    let expected = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (qtq[(i, j)] - expected).abs() < 1e-12,
+                        "k={k} ({i},{j}): {}",
+                        qtq[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_hierarchical_gram_factors_with_zero_fill() {
+        // The point of the Haar congruence: gram(A·Q) is chordal in its
+        // emitted order — natural-order symbolic analysis predicts zero
+        // fill, while the unrotated gram is structurally dense.
+        for k in [16usize, 48, 64] {
+            let a = SparseMatrix::from_dense(&hierarchical_dense(k));
+            let q = dyadic_haar_basis(k);
+            let bq = a.matmul(&q).unwrap();
+            let gram = bq.transpose().matmul(&bq).unwrap();
+            let sym = SymbolicCholesky::analyze(&gram, CholeskyOrdering::Natural, None).unwrap();
+            let stored_lower = (gram.nnz() + k) / 2;
+            // The stored gram may be *sparser* than the structural
+            // ancestor-pair pattern (TripletBuilder drops exact-zero
+            // cancellations), and those positions come back as "fill";
+            // allow that sliver while still pinning the chordal story.
+            assert!(
+                sym.nnz_l() <= stored_lower + 2,
+                "k={k}: natural order fills in ({} vs {stored_lower})",
+                sym.nnz_l()
+            );
+            assert!(
+                gram.nnz() < k * k / 2,
+                "k={k}: rotated gram must be sparse, got {} nnz",
+                gram.nnz()
+            );
+            // And the factor actually solves the rotated system.
+            let chol = sym.factorize(&gram).unwrap();
+            let b: Vec<f64> = (0..k).map(|i| (i as f64).cos()).collect();
+            let z = chol.solve(&b).unwrap();
+            let dense = Cholesky::factor(&gram.to_dense()).unwrap();
+            assert_close(&z, &dense.solve(&b).unwrap(), 1e-8);
+        }
+    }
+
+    #[test]
+    fn ic0_is_exact_when_the_pattern_admits_no_fill() {
+        // Tridiagonal SPD: lower(G) is the complete Cholesky pattern, so
+        // IC(0) and the full factorization coincide.
+        let n = 12;
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 4.0);
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0);
+                b.push(i + 1, i, -1.0);
+            }
+        }
+        let g = b.build();
+        let ic = incomplete_cholesky0(&g).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let x = ic.solve(&rhs).unwrap();
+        let x_ref = Cholesky::factor(&g.to_dense())
+            .unwrap()
+            .solve(&rhs)
+            .unwrap();
+        assert_close(&x, &x_ref, 1e-9);
+    }
+
+    #[test]
+    fn ic0_breakdown_is_typed() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 3.0);
+        b.push(1, 0, 3.0);
+        b.push(1, 1, 1.0);
+        let g = b.build();
+        assert!(matches!(
+            incomplete_cholesky0(&g),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_in_place_is_allocation_free_and_reusable() {
+        let g = grid_spd(4);
+        let n = g.rows();
+        let sym = SymbolicCholesky::analyze(&g, CholeskyOrdering::Auto, None).unwrap();
+        let chol = sym.factorize(&g).unwrap();
+        let mut scratch = vec![0.0; n];
+        let dense = Cholesky::factor(&g.to_dense()).unwrap();
+        for round in 0..3 {
+            let b: Vec<f64> = (0..n).map(|i| (i + round) as f64 * 0.1 + 1.0).collect();
+            let mut v = b.clone();
+            chol.solve_in_place(&mut v, &mut scratch);
+            assert_close(&v, &dense.solve(&b).unwrap(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn symbolic_is_reusable_across_numeric_refactors() {
+        let g1 = grid_spd(4);
+        // Same pattern, different values.
+        let mut b = TripletBuilder::new(g1.rows(), g1.cols());
+        for i in 0..g1.rows() {
+            for (j, v) in g1.row(i) {
+                b.push(i, j, if i == j { v + 3.0 } else { v * 0.5 });
+            }
+        }
+        let g2 = b.build();
+        let sym = SymbolicCholesky::analyze(&g1, CholeskyOrdering::Auto, None).unwrap();
+        for g in [&g1, &g2] {
+            let chol = sym.factorize(g).unwrap();
+            let rhs = vec![1.0; g.rows()];
+            let x = chol.solve(&rhs).unwrap();
+            let x_ref = Cholesky::factor(&g.to_dense())
+                .unwrap()
+                .solve(&rhs)
+                .unwrap();
+            assert_close(&x, &x_ref, 1e-9);
+        }
+    }
+}

@@ -59,8 +59,8 @@ pub use privelet::{
     privelet_histogram_1d, privelet_histogram_planned, privelet_range_error_order, HaarPlan,
 };
 pub use sparse_matrix::{
-    hierarchical_strategy_sparse, identity_strategy_sparse, wavelet_strategy_sparse, PinvApply,
-    SparseMatrixMechanism,
+    hierarchical_strategy_sparse, identity_strategy_sparse, wavelet_strategy_sparse, GramSolver,
+    PinvApply, SparseMatrixMechanism,
 };
 
 /// Errors reported by mechanism construction or execution.

@@ -6,8 +6,8 @@ use proptest::prelude::*;
 
 use blowfish_privacy::linalg::{
     conjugate_gradient, eigh, is_pseudoinverse, jacobi_eigh, pseudoinverse, pseudoinverse_eigen,
-    pseudoinverse_with_method, singular_values, solve_normal_equations, CgOptions, Cholesky, Lu,
-    Matrix, PinvMethod, SparseMatrix, TripletBuilder,
+    pseudoinverse_with_method, singular_values, solve_normal_equations, CgOptions, Cholesky,
+    CholeskyOrdering, Lu, Matrix, PinvMethod, SparseMatrix, SymbolicCholesky, TripletBuilder,
 };
 
 fn matrix_from(data: &[f64], n: usize, m: usize) -> Matrix {
@@ -308,6 +308,57 @@ proptest! {
         let aty = a.transpose().matvec(&y[..rows]).unwrap();
         let direct = ch.solve(&aty).unwrap();
         for (u, v) in sol.x.iter().zip(&direct) {
+            prop_assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    /// Sparse Cholesky on random SPD matrices, under every ordering: the
+    /// permutation round-trips, `L Lᵀ` reconstructs the permuted input,
+    /// and solves match the dense Cholesky reference.
+    #[test]
+    fn sparse_cholesky_reconstructs_and_solves_random_spd(
+        data in vec(-1.0f64..1.0, 49),
+        which in 0usize..3,
+        b in vec(-2.0f64..2.0, 7),
+    ) {
+        let n = 7;
+        let a = matrix_from(&data, n, n);
+        // G = AᵀA + 2I: SPD and well conditioned.
+        let mut g = a.gram();
+        for i in 0..n {
+            g[(i, i)] += 2.0;
+        }
+        let ordering = [
+            CholeskyOrdering::Natural,
+            CholeskyOrdering::ReverseCuthillMcKee,
+            CholeskyOrdering::Auto,
+        ][which];
+        let gs = SparseMatrix::from_dense(&g);
+        let sym = SymbolicCholesky::analyze(&gs, ordering, None).unwrap();
+        let chol = sym.factorize(&gs).unwrap();
+        // Permutation round-trip: perm is a bijection on 0..n.
+        let perm = chol.permutation();
+        let mut seen = vec![false; n];
+        for &p in perm {
+            prop_assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // L Lᵀ = P G Pᵀ entrywise.
+        let l = chol.l_matrix();
+        let llt = l.matmul(&l.transpose()).unwrap().to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                let want = g[(perm[i], perm[j])];
+                prop_assert!(
+                    (llt[(i, j)] - want).abs() < 1e-9,
+                    "({i},{j}): {} vs {want}", llt[(i, j)]
+                );
+            }
+        }
+        // Solve agrees with the dense factorization.
+        let dense = Cholesky::factor(&g).unwrap().solve(&b[..n]).unwrap();
+        let sparse = chol.solve(&b[..n]).unwrap();
+        for (u, v) in sparse.iter().zip(&dense) {
             prop_assert!((u - v).abs() < 1e-9, "{u} vs {v}");
         }
     }
