@@ -21,9 +21,26 @@
 //!   included) plus `{DIR}/{scenario}.det.json` deterministic sections
 //!   (byte-identical across runs of one seed — the diffable artifact);
 //! * `--list` — print the catalog and exit.
+//!
+//! ## Crash-recovery mode
+//!
+//! ```text
+//! blowfish_simulate --scenario NAME --state-dir DIR --kill-at <N|seeded>
+//!                   [--fsync per-charge|batched[:n]|off]
+//! ```
+//!
+//! Replays each selected scenario twice: once uninterrupted in memory,
+//! once against a durable ledger under `--state-dir` with the replay
+//! cut dead at request index N (`seeded` derives the cut point from the
+//! scenario seed) and recovered into a second service that finishes the
+//! trace. Under the default `per-charge` fsync the recovered run's
+//! deterministic report must be **byte-identical** to the uninterrupted
+//! one; any divergence (or gate violation in either run) exits nonzero.
+//! This is the CI `crash-recovery` gate.
 
-use blowfish_bench::simulate::{run, Scenario, SimReport};
+use blowfish_bench::simulate::{run, run_with_recovery, Scenario, SimReport};
 use blowfish_bench::{quick_mode, sci};
+use blowfish_core::FsyncPolicy;
 
 fn main() {
     std::process::exit(real_main());
@@ -37,12 +54,36 @@ fn real_main() -> i32 {
     let mut seed: Option<u64> = None;
     let mut requests: Option<usize> = None;
     let mut out: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut kill_at: Option<String> = None;
+    let mut fsync = FsyncPolicy::PerCharge;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--list" => list = true,
+            "--state-dir" => match args.get(i + 1) {
+                Some(dir) => {
+                    state_dir = Some(dir.clone());
+                    i += 1;
+                }
+                None => return usage("--state-dir needs a directory"),
+            },
+            "--kill-at" => match args.get(i + 1) {
+                Some(v) => {
+                    kill_at = Some(v.clone());
+                    i += 1;
+                }
+                None => return usage("--kill-at needs an index or `seeded`"),
+            },
+            "--fsync" => match args.get(i + 1).map(|t| FsyncPolicy::parse(t)) {
+                Some(Ok(policy)) => {
+                    fsync = policy;
+                    i += 1;
+                }
+                _ => return usage("--fsync needs per-charge, batched[:n], or off"),
+            },
             "--scenario" => match args.get(i + 1) {
                 Some(name) => {
                     names.push(name.clone());
@@ -112,6 +153,13 @@ fn real_main() -> i32 {
         }
     }
 
+    match (&state_dir, &kill_at) {
+        (Some(_), None) | (None, Some(_)) => {
+            return usage("crash-recovery mode needs both --state-dir and --kill-at")
+        }
+        _ => {}
+    }
+
     let mut failed = false;
     for scenario in &scenarios {
         let report = match run(scenario) {
@@ -129,6 +177,23 @@ fn real_main() -> i32 {
             }
         }
         failed |= !report.passed();
+
+        if let (Some(state_dir), Some(kill_token)) = (&state_dir, &kill_at) {
+            match check_recovery(
+                scenario,
+                &report,
+                state_dir,
+                kill_token,
+                fsync,
+                out.as_deref(),
+            ) {
+                Ok(ok) => failed |= !ok,
+                Err(e) => {
+                    eprintln!("{}: crash-recovery error: {e}", scenario.name);
+                    return 2;
+                }
+            }
+        }
     }
     if failed {
         eprintln!("\nFAIL: at least one scenario violated a gate");
@@ -142,9 +207,83 @@ fn real_main() -> i32 {
 fn usage(problem: &str) -> i32 {
     eprintln!(
         "{problem}\nusage: blowfish_simulate [--quick] [--list] [--scenario NAME] \
-         [--seed N] [--requests N] [--out DIR]"
+         [--seed N] [--requests N] [--out DIR]\n\
+         \x20      [--state-dir DIR --kill-at <N|seeded> [--fsync per-charge|batched[:n]|off]]"
     );
     2
+}
+
+/// Runs the kill/recover replay for one scenario and holds it against
+/// the uninterrupted report: both must pass every gate, and under
+/// per-charge fsync the deterministic sections must be byte-identical.
+/// On divergence the recovered deterministic report (and the state
+/// directory) are left on disk for artifact upload.
+fn check_recovery(
+    scenario: &Scenario,
+    uninterrupted: &SimReport,
+    state_dir: &str,
+    kill_token: &str,
+    fsync: FsyncPolicy,
+    out: Option<&str>,
+) -> Result<bool, blowfish_bench::BenchError> {
+    let kill_at = match kill_token {
+        // Seed-derived cut point: deterministic per scenario, lands
+        // strictly inside the trace so both lives do real work.
+        "seeded" => (scenario.seed as usize % scenario.requests.max(2).saturating_sub(1)) + 1,
+        token => match token.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--kill-at must be an index or `seeded`, got {token}");
+                return Ok(false);
+            }
+        },
+    };
+    let dir = std::path::Path::new(state_dir).join(&scenario.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let recovered = run_with_recovery(scenario, &dir, kill_at, fsync)?;
+    println!(
+        "  crash-recovery: killed at request {}/{} (fsync={fsync}): {} snapshot \
+         tenants, {} WAL records replayed{}",
+        recovered.kill_at,
+        scenario.requests,
+        recovered.recovery.snapshot_tenants,
+        recovered.recovery.wal_records_replayed,
+        if recovered.recovery.is_clean() {
+            String::new()
+        } else {
+            format!(" ({} warnings)", recovered.recovery.warnings.len())
+        },
+    );
+    for warning in &recovered.recovery.warnings {
+        println!("    recovery warning: {warning}");
+    }
+    if !recovered.report.passed() {
+        for v in &recovered.report.violations {
+            println!("  RECOVERY VIOLATION: {v}");
+        }
+        return Ok(false);
+    }
+    let identical = recovered.report.deterministic_json() == uninterrupted.deterministic_json();
+    if fsync == FsyncPolicy::PerCharge && !identical {
+        println!(
+            "  RECOVERY VIOLATION: recovered deterministic report diverged from the \
+             uninterrupted replay"
+        );
+        if let Some(out) = out {
+            let path =
+                std::path::Path::new(out).join(format!("{}.recovered.det.json", scenario.name));
+            let _ = std::fs::create_dir_all(out);
+            let _ = std::fs::write(&path, recovered.report.deterministic_json());
+            println!("  recovered report written to {}", path.display());
+        }
+        return Ok(false);
+    }
+    if identical {
+        println!("  crash-recovery: deterministic report is byte-identical after recovery");
+        // A clean pass leaves nothing to inspect.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    Ok(true)
 }
 
 fn print_summary(report: &SimReport) {

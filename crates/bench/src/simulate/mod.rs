@@ -58,6 +58,7 @@ pub use loadtest::{
 };
 pub use scenario::{ArrivalPattern, PolicyFamily, Scenario, SpecChoice};
 pub use score::{
-    run, score, SimReport, SimTiming, TenantScore, UTILITY_FACTOR, UTILITY_MIN_SAMPLES,
+    run, run_with_recovery, score, score_outcomes, RecoveryRun, SimReport, SimTiming, TenantScore,
+    UTILITY_FACTOR, UTILITY_MIN_SAMPLES,
 };
 pub use trace::{generate, Trace, TraceTenant, SIM_HANDLE};

@@ -27,10 +27,14 @@
 //! [`SimReport::deterministic_json`].
 
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
-use blowfish_core::{overdraw_slack, Domain, RangeQuery};
-use blowfish_engine::{EngineError, MechanismSpec, Request, Response, Service};
+use blowfish_core::{
+    overdraw_slack, Domain, FsyncPolicy, Ledger, LedgerDurability, RangeQuery, RecoveryReport,
+};
+use blowfish_engine::{EngineError, MechanismSpec, Replayed, Request, Response, Service};
 use blowfish_strategies::TreeEstimator;
 
 use crate::report::snapshot::JsonValue;
@@ -317,6 +321,126 @@ pub fn score(scenario: &Scenario, trace: &Trace) -> Result<SimReport, BenchError
         service.add_tenant(tenant.config.clone())?;
     }
 
+    // Serial replay: deterministic outcomes, per-request latencies.
+    let started = Instant::now();
+    let replayed = service.replay(&trace.requests);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    score_outcomes(scenario, trace, &replayed, &service, wall_ns)
+}
+
+/// The outcome of a kill/recover run ([`run_with_recovery`]): the
+/// stitched-and-scored report plus what recovery found on disk.
+#[derive(Clone, Debug)]
+pub struct RecoveryRun {
+    /// The scored report over prefix + suffix outcomes. Its
+    /// [`SimReport::deterministic_json`] must be byte-identical to an
+    /// uninterrupted [`run`] of the same scenario when the fsync policy
+    /// is [`FsyncPolicy::PerCharge`].
+    pub report: SimReport,
+    /// What [`Ledger::durable`] reported when the second life opened the
+    /// state directory.
+    pub recovery: RecoveryReport,
+    /// The request index the first life was cut at.
+    pub kill_at: usize,
+}
+
+/// Replays a scenario with a mid-trace crash: requests `[0, kill_at)`
+/// run against a durable service whose state lives under `state_dir`,
+/// the service is then dropped *without any graceful shutdown* (the
+/// in-process equivalent of SIGKILL — nothing is flushed beyond what
+/// the fsync policy already guaranteed), a second service recovers from
+/// the state directory, re-onboards every tenant (attaching the
+/// recovered accounts), re-materializes the estimates whose fits were
+/// admitted before the cut ([`Service::restore_estimate`] — charged
+/// releases are never re-charged), and replays the suffix. The stitched
+/// outcome sequence is scored exactly like an uninterrupted run.
+///
+/// Under [`FsyncPolicy::PerCharge`] every acknowledged charge survives
+/// the kill, so the stitched report's deterministic section is
+/// f64-identical to the uninterrupted replay — the crash-recovery CI
+/// gate. Batched/off policies may lose staged-but-unsynced acks (by
+/// documented design), in which case the scorer's reconciliation gates
+/// flag the divergence rather than hiding it.
+pub fn run_with_recovery(
+    scenario: &Scenario,
+    state_dir: &Path,
+    kill_at: usize,
+    fsync: FsyncPolicy,
+) -> Result<RecoveryRun, BenchError> {
+    let trace = generate(scenario)?;
+    let kill_at = kill_at.min(trace.requests.len());
+    let durability = LedgerDurability {
+        fsync,
+        ..LedgerDurability::default()
+    };
+
+    // First life: durable service, prefix replay, then the "crash" —
+    // the service and its ledger are dropped with no flush call.
+    let started = Instant::now();
+    let prefix = {
+        let (ledger, _) = Ledger::durable(state_dir, durability)?;
+        let service = Service::with_ledger(Arc::new(ledger));
+        for tenant in &trace.tenants {
+            service.add_tenant(tenant.config.clone())?;
+        }
+        service.replay(&trace.requests[..kill_at])
+    };
+
+    // Second life: recover, re-attach every tenant, restore the
+    // estimates the prefix admitted, replay the rest.
+    let (ledger, recovery) = Ledger::durable(state_dir, durability)?;
+    let service = Service::with_ledger(Arc::new(ledger));
+    for tenant in &trace.tenants {
+        service.add_tenant(tenant.config.clone())?;
+    }
+    // Last admitted fit per (tenant, handle) wins — exactly the estimate
+    // the first life would still be holding at the cut.
+    let mut admitted: HashMap<(String, String), &Request> = HashMap::new();
+    for (request, outcome) in trace.requests[..kill_at].iter().zip(&prefix) {
+        if let Request::Fit { tenant, handle, .. } = request {
+            if matches!(outcome.response, Ok(Response::Fitted { .. })) {
+                admitted.insert((tenant.clone(), handle.clone()), request);
+            }
+        }
+    }
+    let mut keys: Vec<&(String, String)> = admitted.keys().collect();
+    keys.sort();
+    for key in keys {
+        let Request::Fit {
+            tenant,
+            spec,
+            task,
+            seed,
+            handle,
+        } = admitted[key]
+        else {
+            unreachable!("only fits are recorded");
+        };
+        service.restore_estimate(tenant, *spec, *task, *seed, handle)?;
+    }
+    let suffix = service.replay(&trace.requests[kill_at..]);
+    let wall_ns = started.elapsed().as_nanos() as u64;
+
+    let mut outcomes = prefix;
+    outcomes.extend(suffix);
+    let report = score_outcomes(scenario, &trace, &outcomes, &service, wall_ns)?;
+    Ok(RecoveryRun {
+        report,
+        recovery,
+        kill_at,
+    })
+}
+
+/// Scores an already-replayed outcome sequence against the trace's
+/// oracles, reconciling ledger state through `service` — the shared
+/// back half of [`score`] and [`run_with_recovery`].
+pub fn score_outcomes(
+    scenario: &Scenario,
+    trace: &Trace,
+    replayed: &[Replayed],
+    service: &Service,
+    wall_ns: u64,
+) -> Result<SimReport, BenchError> {
     let by_id: HashMap<&str, &TraceTenant> = trace
         .tenants
         .iter()
@@ -328,15 +452,10 @@ pub fn score(scenario: &Scenario, trace: &Trace) -> Result<SimReport, BenchError
         .map(|t| (t.config.id.as_str(), TenantTally::default()))
         .collect();
 
-    // Serial replay: deterministic outcomes, per-request latencies.
-    let started = Instant::now();
-    let replayed = service.replay(&trace.requests);
-    let wall_ns = started.elapsed().as_nanos() as u64;
-
     // One pass over (request, outcome) pairs: advance the oracle, compare
     // the actual outcome against its prediction, accumulate utility.
     let mut violations: Vec<String> = Vec::new();
-    for (index, (request, outcome)) in trace.requests.iter().zip(&replayed).enumerate() {
+    for (index, (request, outcome)) in trace.requests.iter().zip(replayed).enumerate() {
         match request {
             Request::Fit { tenant, .. } => {
                 let info = by_id[tenant.as_str()];
@@ -682,6 +801,35 @@ mod tests {
         // And the scorer holds it to the same gates as every scenario.
         let report = score(&scenario, &trace).unwrap();
         assert!(report.passed(), "{:#?}", report.violations);
+    }
+
+    #[test]
+    fn killed_and_recovered_replay_is_f64_identical() {
+        let scenario = Scenario::find("exhaustion-tight").unwrap();
+        let uninterrupted = run(&scenario).unwrap();
+        assert!(uninterrupted.passed(), "{:#?}", uninterrupted.violations);
+        // Cut at several points, including mid-exhaustion and the edges.
+        for kill_at in [0, 1, scenario.requests / 3, scenario.requests - 1] {
+            let dir = std::env::temp_dir().join(format!(
+                "blowfish-sim-recover-{}-{kill_at}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let recovered =
+                run_with_recovery(&scenario, &dir, kill_at, FsyncPolicy::PerCharge).unwrap();
+            assert_eq!(recovered.kill_at, kill_at);
+            assert!(
+                recovered.report.passed(),
+                "kill at {kill_at}: {:#?}",
+                recovered.report.violations
+            );
+            assert_eq!(
+                recovered.report.deterministic_json(),
+                uninterrupted.deterministic_json(),
+                "kill at {kill_at}: recovered replay diverged from the uninterrupted run"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub mod spanner;
 pub mod workload;
 
 pub use accounting::{
-    overdraw_slack, AccountSnapshot, BudgetDistribution, BudgetLedger, Charge, Delta, Epsilon,
-    Ledger,
+    overdraw_slack, AccountSnapshot, BudgetDistribution, BudgetLedger, Charge, Delta,
+    DurabilityStats, Epsilon, FsyncPolicy, Ledger, LedgerDurability, RecoveryReport, WalTail,
+    LEDGER_STRIPES,
 };
 pub use database::DataVector;
 pub use domain::Domain;
@@ -207,6 +208,29 @@ pub enum CoreError {
         /// Why the charge was rejected.
         reason: &'static str,
     },
+    /// A durability I/O operation (WAL append/fsync, snapshot write,
+    /// state-directory access) failed. The durable ledger fail-stops on
+    /// write failures rather than acknowledging charges it cannot log.
+    Durability {
+        /// The operation that failed (e.g. `"append wal"`).
+        op: &'static str,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying OS error.
+        detail: String,
+    },
+    /// A persisted ledger image (snapshot or WAL header) failed
+    /// validation and cannot be trusted. Recovery refuses to proceed —
+    /// serving from a damaged base image could silently reset budgets,
+    /// which is exactly the privacy violation durability exists to
+    /// prevent. (A torn WAL *tail* is not this error: the valid prefix
+    /// is recovered and the tail reported as a warning.)
+    CorruptState {
+        /// Which artifact failed validation (e.g. `"snapshot"`).
+        what: String,
+        /// What failed about it.
+        detail: String,
+    },
     /// An underlying linear-algebra failure.
     Linalg(blowfish_linalg::LinalgError),
 }
@@ -264,6 +288,12 @@ impl std::fmt::Display for CoreError {
                 write!(f, "tenant {tenant} is already registered")
             }
             CoreError::InvalidCharge { reason } => write!(f, "invalid charge: {reason}"),
+            CoreError::Durability { op, path, detail } => {
+                write!(f, "durability failure ({op} on {path}): {detail}")
+            }
+            CoreError::CorruptState { what, detail } => {
+                write!(f, "corrupt ledger state ({what}): {detail}")
+            }
             CoreError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
     }

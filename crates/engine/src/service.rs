@@ -40,7 +40,7 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use blowfish_core::{DataVector, Epsilon, Ledger, PolicyGraph, RangeQuery};
+use blowfish_core::{DataVector, DurabilityStats, Epsilon, Ledger, PolicyGraph, RangeQuery};
 use blowfish_strategies::Estimate;
 
 use crate::plan::PlanCache;
@@ -165,6 +165,9 @@ pub enum Response {
         /// Aggregated sparse-solver activity: which apply path releases
         /// are taking and what they cost.
         solver: crate::plan::SolverStats,
+        /// Write-ahead-log health when the ledger is durable; `None`
+        /// for a purely in-memory service.
+        durability: Option<DurabilityStats>,
     },
 }
 
@@ -202,6 +205,21 @@ impl Service {
         Service::default()
     }
 
+    /// An empty service over a caller-provided ledger — the recovery
+    /// entry point. Pass the ledger returned by [`Ledger::recover`] (or
+    /// [`Ledger::durable`]) and re-onboard tenants with
+    /// [`Service::add_tenant`]: accounts that survived the crash are
+    /// *attached* (their durable spend is kept, bit for bit) instead of
+    /// re-opened fresh, and already-charged releases can be restored
+    /// without re-charging via [`Service::restore_estimate`].
+    pub fn with_ledger(ledger: Arc<Ledger>) -> Self {
+        Service {
+            cache: Arc::new(PlanCache::default()),
+            ledger,
+            tenants: RwLock::new(HashMap::new()),
+        }
+    }
+
     /// The shared artifact cache (one per service, all tenants).
     pub fn cache(&self) -> &Arc<PlanCache> {
         &self.cache
@@ -212,10 +230,13 @@ impl Service {
         &self.ledger
     }
 
-    /// Onboards a tenant: classifies its policy, opens its ledger
-    /// account, and registers its data. Rejects a duplicate id (budgets
-    /// are append-only), data whose domain does not match the policy
-    /// graph, and unsupported policies.
+    /// Onboards a tenant: classifies its policy, opens (or — after a
+    /// recovery — re-attaches) its ledger account, and registers its
+    /// data. Rejects a duplicate id (budgets are append-only), data
+    /// whose domain does not match the policy graph, and unsupported
+    /// policies. Re-attaching requires the bit-identical total budget
+    /// the account was durably opened with; the recovered spend is kept
+    /// as-is, so a tenant cannot shed charges by crashing the service.
     pub fn add_tenant(&self, config: TenantConfig) -> Result<(), EngineError> {
         if config.data.domain() != config.graph.domain() {
             return Err(EngineError::BadRequest {
@@ -226,19 +247,59 @@ impl Service {
             });
         }
         // Build the session first so a rejected policy leaves no orphan
-        // ledger account; `Ledger::open` then rejects duplicate ids.
+        // ledger account.
         let session = Session::with_cache(&config.graph, config.eps, Arc::clone(&self.cache))?
             .metered(Arc::clone(&self.ledger), config.id.clone());
-        self.ledger.open(&config.id, config.budget)?;
         let tenant = Arc::new(Tenant {
             session,
             data: config.data,
             estimates: Mutex::new(HashMap::new()),
         });
-        self.tenants
-            .write()
-            .expect("service tenants lock")
-            .insert(config.id, tenant);
+        // Duplicate detection must consult the *service* map, not the
+        // ledger: after `Ledger::recover` the account legitimately
+        // pre-exists and is attached rather than re-opened.
+        let mut tenants = self.tenants.write().expect("service tenants lock");
+        if tenants.contains_key(&config.id) {
+            return Err(EngineError::Core(
+                blowfish_core::CoreError::DuplicateTenant { tenant: config.id },
+            ));
+        }
+        self.ledger.open_or_attach(&config.id, config.budget)?;
+        tenants.insert(config.id, tenant);
+        Ok(())
+    }
+
+    /// Re-materializes an already-charged release after a crash,
+    /// without touching the ledger. Fits are deterministic per
+    /// `(tenant, spec, seed)`, so re-running the fit through the
+    /// unmetered path reproduces the pre-crash estimate f64-exactly
+    /// while the recovered account keeps exactly the spend the WAL
+    /// durably acknowledged — charging again here would double-count a
+    /// release the tenant already paid for. Only replay `(spec, seed,
+    /// handle)` triples whose original fit was admitted (present in the
+    /// recovered history); this method does not re-check the budget.
+    pub fn restore_estimate(
+        &self,
+        tenant: &str,
+        spec: Option<MechanismSpec>,
+        task: Task,
+        seed: u64,
+        handle: &str,
+    ) -> Result<(), EngineError> {
+        let tenant = self.tenant(tenant)?;
+        let spec = match spec {
+            Some(spec) => spec,
+            None => *tenant.session.plan(task)?.spec(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let estimate = tenant
+            .session
+            .fit_unmetered(&spec, &tenant.data, &mut rng)?;
+        tenant
+            .estimates
+            .lock()
+            .expect("tenant estimates lock")
+            .insert(handle.to_string(), Arc::new(estimate));
         Ok(())
     }
 
@@ -402,6 +463,7 @@ impl Service {
             tenants: rows,
             artifact_builds: self.cache.stats().total_builds(),
             solver: self.cache.solver_stats(),
+            durability: self.ledger.durability_stats(),
         })
     }
 }
@@ -483,6 +545,7 @@ mod tests {
                 tenants,
                 artifact_builds,
                 solver,
+                durability,
             } => {
                 assert_eq!(tenants.len(), 1);
                 assert_eq!(tenants[0].fits, 1);
@@ -493,6 +556,8 @@ mod tests {
                 let _ = artifact_builds;
                 // No matrix mechanism ran: the solver aggregate is zero.
                 assert_eq!(solver, crate::plan::SolverStats::default());
+                // An in-memory service reports no durability stats.
+                assert!(durability.is_none());
             }
             other => panic!("expected Stats, got {other:?}"),
         }
@@ -622,6 +687,95 @@ mod tests {
             .filter(|r| matches!(r.response, Ok(Response::Fitted { .. })))
             .count();
         assert_eq!(par_admitted, 3);
+    }
+
+    #[test]
+    fn recovered_service_attaches_accounts_and_restores_estimates() {
+        let dir = std::env::temp_dir().join(format!("blowfish-svc-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || TenantConfig {
+            id: "acme".to_string(),
+            graph: PolicyGraph::line(16).unwrap(),
+            eps: Epsilon::new(0.5).unwrap(),
+            budget: Epsilon::new(2.0).unwrap(),
+            data: DataVector::new(Domain::one_dim(16), vec![3.0; 16]).unwrap(),
+        };
+        let d = Domain::one_dim(16);
+        let queries = vec![
+            RangeQuery::one_dim(&d, 0, 15).unwrap(),
+            RangeQuery::one_dim(&d, 3, 9).unwrap(),
+        ];
+        // First life: durable service, one charged fit, then "crash"
+        // (drop without any graceful shutdown).
+        let (before, spent_before) = {
+            let (ledger, report) =
+                Ledger::durable(&dir, blowfish_core::LedgerDurability::default()).unwrap();
+            assert!(report.is_clean());
+            let service = Service::with_ledger(Arc::new(ledger));
+            service.add_tenant(config()).unwrap();
+            service
+                .handle(&Request::Fit {
+                    tenant: "acme".into(),
+                    spec: None,
+                    task: Task::Range1d,
+                    seed: 41,
+                    handle: "h".into(),
+                })
+                .unwrap();
+            let answers = match service
+                .handle(&Request::Answer {
+                    tenant: "acme".into(),
+                    handle: "h".into(),
+                    queries: queries.clone(),
+                })
+                .unwrap()
+            {
+                Response::Answers { values } => values,
+                other => panic!("expected Answers, got {other:?}"),
+            };
+            (answers, service.ledger().spent("acme").unwrap())
+        };
+        // Second life: recover, re-onboard (attach), restore the release.
+        let (ledger, report) = Ledger::recover(&dir).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        let service = Service::with_ledger(Arc::new(ledger));
+        service.add_tenant(config()).unwrap();
+        assert_eq!(
+            service.ledger().spent("acme").unwrap().to_bits(),
+            spent_before.to_bits(),
+            "recovered spend must be bit-identical"
+        );
+        service
+            .restore_estimate("acme", None, Task::Range1d, 41, "h")
+            .unwrap();
+        // Restoring charged nothing further...
+        assert_eq!(
+            service.ledger().spent("acme").unwrap().to_bits(),
+            spent_before.to_bits()
+        );
+        // ...and the estimate answers f64-identically to the first life.
+        let after = match service
+            .handle(&Request::Answer {
+                tenant: "acme".into(),
+                handle: "h".into(),
+                queries,
+            })
+            .unwrap()
+        {
+            Response::Answers { values } => values,
+            other => panic!("expected Answers, got {other:?}"),
+        };
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&after), bits(&before));
+        // Stats now reports the durable ledger's WAL health.
+        match service.handle(&Request::Stats { tenant: None }).unwrap() {
+            Response::Stats { durability, .. } => {
+                let stats = durability.expect("durable service reports stats");
+                assert!(stats.wal_bytes > 0);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -337,6 +337,31 @@ impl Session {
         })
     }
 
+    /// Fits a mechanism **without** touching the ledger, even on a
+    /// metered session — the crash-recovery path. A service restoring
+    /// estimates after [`Ledger::recover`] re-runs fits whose ε was
+    /// already durably charged before the crash; re-fitting from the
+    /// same `(spec, seed)` is deterministic post-processing of a
+    /// release that was already paid for (Borgs et al., "Private
+    /// Algorithms Can Always Be Extended": re-deriving an output from
+    /// recorded coins consumes no new budget), so charging again would
+    /// *double-count* the release. Never expose this to client
+    /// requests — it is for replaying already-admitted releases only.
+    pub fn fit_unmetered(
+        &self,
+        spec: &MechanismSpec,
+        x: &DataVector,
+        rng: &mut dyn RngCore,
+    ) -> Result<Estimate, EngineError> {
+        if x.domain() != &self.domain {
+            return Err(EngineError::BadRequest {
+                what: "data domain does not match the session domain".to_string(),
+            });
+        }
+        let mechanism = self.mechanism(spec)?;
+        Ok(mechanism.fit(x, rng)?)
+    }
+
     /// The tenant this session charges, when a meter is attached.
     pub fn tenant(&self) -> Option<&str> {
         self.meter.as_ref().map(|m| m.tenant.as_str())

@@ -417,10 +417,21 @@ impl Codec {
                     tenants,
                     artifact_builds,
                     solver,
+                    durability,
                 } => {
+                    // Durability health is always reported so clients can
+                    // key off the fields unconditionally: an in-memory
+                    // service answers `durable=no wal_bytes=0
+                    // last_snapshot=0`, a durable one names its fsync
+                    // policy and current WAL/snapshot position.
+                    let (durable, wal_bytes, last_snapshot) = match durability {
+                        Some(d) => (d.policy.to_string(), d.wal_bytes, d.snapshot_generation),
+                        None => ("no".to_string(), 0, 0),
+                    };
                     let mut out = format!(
                         "ok stats builds={artifact_builds} solves={} cg_iters={} \
-                         factored={} cg_fallback={} tenants={}",
+                         factored={} cg_fallback={} durable={durable} \
+                         wal_bytes={wal_bytes} last_snapshot={last_snapshot} tenants={}",
                         solver.solves,
                         solver.cg_iterations,
                         solver.sparse_factorizations,
@@ -900,9 +911,34 @@ mod tests {
         assert!(stats.contains("solves="), "{stats}");
         assert!(stats.contains("factored="), "{stats}");
         assert!(stats.contains("cg_fallback="), "{stats}");
+        // Durability fields are always present; in-memory answers no/0/0.
+        assert!(stats.contains("durable=no"), "{stats}");
+        assert!(stats.contains("wal_bytes=0"), "{stats}");
+        assert!(stats.contains("last_snapshot=0"), "{stats}");
         // Explicit mechanism id path (a baseline charges ε/2).
         let fit2 = ok(&service, "fit acme as=r2 mech=dp-laplace seed=1");
         assert!(fit2.contains("charged=0.25"), "{fit2}");
+    }
+
+    #[test]
+    fn durable_service_reports_wal_health_over_the_wire() {
+        let dir =
+            std::env::temp_dir().join(format!("blowfish-wire-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (ledger, _) =
+            blowfish_core::Ledger::durable(&dir, blowfish_core::LedgerDurability::default())
+                .unwrap();
+        let service = Service::with_ledger(std::sync::Arc::new(ledger));
+        ok(
+            &service,
+            "tenant acme policy=line:8 eps=0.5 budget=2.0 data=uniform:1",
+        );
+        ok(&service, "fit acme as=r1 seed=5");
+        let stats = ok(&service, "stats");
+        assert!(stats.contains("durable=per-charge"), "{stats}");
+        assert!(!stats.contains("wal_bytes=0 "), "{stats}");
+        assert!(stats.contains("last_snapshot=0"), "{stats}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

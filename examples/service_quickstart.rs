@@ -140,7 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Response::Stats {
         tenants,
         artifact_builds,
-        solver: _,
+        ..
     } = service.handle(&Request::Stats { tenant: None })?
     {
         println!("--- ledger ({artifact_builds} shared artifacts built) ---");

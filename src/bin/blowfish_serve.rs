@@ -39,26 +39,44 @@
 //! is documented in the `blowfish_engine::wire` module.
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use blowfish_privacy::core::{FsyncPolicy, Ledger, LedgerDurability};
 use blowfish_privacy::engine::{Codec, NetConfig, NetModel, Service, TcpServer, WireReply};
 
 struct Args {
     tcp: Option<String>,
     config: NetConfig,
+    state_dir: Option<PathBuf>,
+    durability: LedgerDurability,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         tcp: None,
         config: NetConfig::default(),
+        state_dir: None,
+        durability: LedgerDurability::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |what: &str| it.next().ok_or(format!("{flag} needs {what}"));
         match flag.as_str() {
             "--tcp" => args.tcp = Some(value("an address (host:port)")?),
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("a directory")?)),
+            "--fsync" => {
+                let token = value("per-charge|batched[:n]|off")?;
+                args.durability.fsync = FsyncPolicy::parse(&token).map_err(|_| {
+                    format!("--fsync must be per-charge, batched[:n], or off, got {token}")
+                })?
+            }
+            "--snapshot-every" => {
+                args.durability.snapshot_every = value("a charge count")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every needs an integer".to_string())?
+            }
             "--max-conns" => {
                 args.config.max_connections = value("a count")?
                     .parse()
@@ -86,11 +104,16 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "usage: blowfish-serve [--tcp ADDR] [--max-conns N] [--idle-timeout-secs S]\n\
                      \x20                     [--net-model reactor|threads] [--backlog N]\n\
+                     \x20                     [--state-dir DIR] [--fsync per-charge|batched[:n]|off]\n\
+                     \x20                     [--snapshot-every N]\n\
                      \n\
                      Without --tcp, serves the blowfish/1 protocol over stdin/stdout.\n\
                      With --tcp ADDR (e.g. 127.0.0.1:7741), serves concurrent TCP clients\n\
                      under the chosen serving model (reactor: epoll event loops, the Linux\n\
-                     default; threads: portable thread-per-connection)."
+                     default; threads: portable thread-per-connection).\n\
+                     With --state-dir DIR, the privacy ledger is durable: charges are\n\
+                     write-ahead logged (and periodically snapshotted) under DIR, and a\n\
+                     restarted server recovers every account bit-for-bit before serving."
                 );
                 std::process::exit(0);
             }
@@ -108,10 +131,44 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let service = Arc::new(Service::new());
+    let service = match &args.state_dir {
+        Some(dir) => {
+            let (ledger, report) = match Ledger::durable(dir, args.durability) {
+                Ok(recovered) => recovered,
+                Err(e) => {
+                    eprintln!(
+                        "blowfish-serve: cannot recover state from {}: {e}",
+                        dir.display()
+                    );
+                    std::process::exit(2);
+                }
+            };
+            eprintln!(
+                "blowfish-serve: durable ledger at {} (fsync={}): recovered {} tenants \
+                 (snapshot gen {:?}, {} WAL records replayed)",
+                dir.display(),
+                args.durability.fsync,
+                ledger.tenant_count(),
+                report.snapshot_generation,
+                report.wal_records_replayed,
+            );
+            for warning in &report.warnings {
+                eprintln!("blowfish-serve: recovery warning: {warning}");
+            }
+            Arc::new(Service::with_ledger(Arc::new(ledger)))
+        }
+        None => Arc::new(Service::new()),
+    };
     match args.tcp {
-        Some(addr) => serve_tcp(service, &addr, args.config),
+        Some(addr) => serve_tcp(Arc::clone(&service), &addr, args.config),
         None => serve_stdio(&service),
+    }
+    // Push any batched WAL records to disk before exiting; a kill that
+    // skips this loses only un-fsynced acks, exactly as the policy
+    // advertises.
+    if let Err(e) = service.ledger().flush() {
+        eprintln!("blowfish-serve: final WAL flush failed: {e}");
+        std::process::exit(1);
     }
 }
 
